@@ -1,0 +1,41 @@
+// F1 — Factorization speedup curves vs rank count (paper-style scaling
+// figure, printed as series): P = 1 .. 4096, 2-D vs 1-D mapping, per
+// matrix. The crossover where the 1-D curve flattens while the 2-D curve
+// keeps climbing is the paper's central claim.
+#include <cstdio>
+
+#include "api/solver.h"
+#include "bench/common.h"
+#include "perf/dag_sim.h"
+
+using namespace parfact;
+
+int main() {
+  bench::heading("F1: speedup curves, 2-D vs 1-D front mapping");
+  const mpsim::MachineModel model = bench::calibrated_model();
+  const int ps[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+
+  for (const auto& prob : bench::suite()) {
+    const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
+    std::printf("\n%-12s (n=%d)\n", prob.name.c_str(), sym.n);
+    std::printf("%6s %14s %14s %12s %12s\n", "P", "t(2D) [s]", "t(1D) [s]",
+                "speedup(2D)", "speedup(1D)");
+    double t1 = 0.0;
+    for (const int p : ps) {
+      const double t2d =
+          simulate_factor_time(
+              sym, build_front_map(sym, p, MappingStrategy::kSubtree2d),
+              model)
+              .makespan;
+      const double t1d =
+          simulate_factor_time(
+              sym, build_front_map(sym, p, MappingStrategy::kSubtree1d),
+              model)
+              .makespan;
+      if (p == 1) t1 = t2d;
+      std::printf("%6d %14.4f %14.4f %12.1f %12.1f\n", p, t2d, t1d, t1 / t2d,
+                  t1 / t1d);
+    }
+  }
+  return 0;
+}

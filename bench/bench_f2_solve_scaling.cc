@@ -1,0 +1,56 @@
+// F2 — Triangular-solve phase scaling: simulated forward+backward solve
+// time vs rank count for 1 and 16 right-hand sides, anchored by a real
+// mpsim execution at P = 8. The solve phase is bandwidth/latency-bound, so
+// it scales more weakly than factorization — the classic shape this figure
+// shows in the paper lineage.
+#include <cstdio>
+#include <vector>
+
+#include "api/solver.h"
+#include "bench/common.h"
+#include "dist/dist_factor.h"
+#include "dist/dist_solve.h"
+#include "perf/dag_sim.h"
+#include "support/prng.h"
+
+using namespace parfact;
+
+int main() {
+  bench::heading("F2: solve-phase strong scaling");
+  const mpsim::MachineModel model = bench::calibrated_model();
+  const int ps[] = {1, 4, 16, 64, 256};
+
+  for (const auto& prob : bench::suite()) {
+    const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
+    std::printf("\n%-12s (n=%d, nnz(L)=%lld)\n", prob.name.c_str(), sym.n,
+                static_cast<long long>(sym.nnz_strict));
+    std::printf("%6s %14s %14s %16s\n", "P", "t(1 rhs) [s]", "t(16 rhs) [s]",
+                "factor/solve(1)");
+    for (const int p : ps) {
+      const FrontMap map =
+          build_front_map(sym, p, MappingStrategy::kSubtree2d);
+      const double tf = simulate_factor_time(sym, map, model).makespan;
+      const double s1 = simulate_solve_time(sym, map, model, 1).makespan;
+      const double s16 = simulate_solve_time(sym, map, model, 16).makespan;
+      std::printf("%6d %14.5f %14.5f %16.1f\n", p, s1, s16, tf / s1);
+    }
+  }
+
+  // Anchor: one real message-passing execution on the smallest problem.
+  {
+    const auto probs = bench::suite(0.25);
+    const SymbolicFactor sym = analyze_nested_dissection(probs[2].lower);
+    const FrontMap map = build_front_map(sym, 8, MappingStrategy::kSubtree2d);
+    const auto dist = distributed_factor(sym, map, model);
+    Prng rng(1);
+    std::vector<real_t> b(static_cast<std::size_t>(sym.n));
+    for (auto& v : b) v = rng.next_real(-1, 1);
+    const auto ds = distributed_solve(sym, map, dist.factor, b, 1, model);
+    const double sim = simulate_solve_time(sym, map, model, 1).makespan;
+    std::printf(
+        "\n# anchor (%s @0.25, P=8): executed mpsim solve %.5fs vs replay "
+        "%.5fs\n",
+        probs[2].name.c_str(), ds.run.makespan, sim);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// F3 — Analysis phase: ordering quality and cost. Compares nested
+// dissection (the parallel solver's ordering) against minimum degree, RCM
+// and the natural ordering: factor nonzeros, factorization flops, and
+// ordering + symbolic wall time. Minimum degree (exact external degree) is
+// run up to a size cap; larger entries print '-'.
+#include <cstdio>
+
+#include "api/solver.h"
+#include "bench/common.h"
+#include "support/timer.h"
+
+using namespace parfact;
+
+namespace {
+
+struct Row {
+  bool ran = false;
+  count_t nnz_l = 0;
+  count_t flops = 0;
+  double seconds = 0.0;
+};
+
+Row run(const SparseMatrix& a, SolverOptions::Ordering ord) {
+  Row row;
+  WallTimer t;
+  SolverOptions opts;
+  opts.ordering = ord;
+  Solver solver(opts);
+  solver.analyze(a);
+  row.ran = true;
+  row.nnz_l = solver.report().nnz_factor;
+  row.flops = solver.report().factor_flops;
+  row.seconds = t.seconds();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("F3: ordering quality (fill and flops) and analysis cost");
+  constexpr index_t kMinDegCap = 40000;
+  std::printf("%-12s %-8s %12s %10s %9s\n", "matrix", "ordering", "nnz(L)",
+              "GFLOP", "time");
+  for (const auto& prob : bench::suite()) {
+    struct {
+      const char* name;
+      SolverOptions::Ordering ord;
+    } cases[] = {
+        {"nd", SolverOptions::Ordering::kNestedDissection},
+        {"mindeg", SolverOptions::Ordering::kMinimumDegree},
+        {"rcm", SolverOptions::Ordering::kRcm},
+        {"natural", SolverOptions::Ordering::kNatural},
+    };
+    for (const auto& c : cases) {
+      if (c.ord == SolverOptions::Ordering::kMinimumDegree &&
+          prob.lower.rows > kMinDegCap) {
+        std::printf("%-12s %-8s %12s %10s %9s\n", prob.name.c_str(), c.name,
+                    "-", "-", "-");
+        continue;
+      }
+      const Row r = run(prob.lower, c.ord);
+      std::printf("%-12s %-8s %12lld %10.2f %8.2fs\n", prob.name.c_str(),
+                  c.name, static_cast<long long>(r.nnz_l),
+                  static_cast<double>(r.flops) / 1e9, r.seconds);
+    }
+  }
+  std::printf(
+      "# expected shape: nd and mindeg close on 2-D problems; nd clearly "
+      "ahead on large 3-D problems; rcm/natural far behind.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// F6 — Supernode amalgamation ablation: the classic space/time trade-off
+// knob of multifrontal solvers. Sweeps the relaxation parameter and reports
+// supernode count, stored-factor overhead (explicit zeros), flop overhead,
+// and *measured* serial factorization time — the U-shaped curve that makes
+// relaxed amalgamation a win despite extra flops.
+#include <algorithm>
+#include <cstdio>
+
+#include "api/solver.h"
+#include "bench/common.h"
+#include "mf/multifrontal.h"
+
+using namespace parfact;
+
+int main() {
+  bench::heading("F6: relaxed supernode amalgamation sweep");
+  struct Setting {
+    const char* label;
+    bool enable;
+    index_t relax_small;
+    double relax_ratio;
+  };
+  const Setting settings[] = {
+      {"off", false, 0, 0.0},        {"small=4", true, 4, 0.05},
+      {"small=8", true, 8, 0.08},    {"small=12", true, 12, 0.12},
+      {"small=16", true, 16, 0.16},  {"small=24", true, 24, 0.24},
+      {"small=32", true, 32, 0.32},
+  };
+
+  // Capped at 0.6 of full size: this binary runs 7 factorization sweeps of
+  // the whole suite in one process, and glibc's allocator high-water
+  // retention across those sweeps exceeds modest hosts' memory at full
+  // scale. The U-curve shape is scale-invariant.
+  for (const auto& prob : bench::suite(std::min(0.6, bench::env_scale(0.5)))) {
+    std::printf("\n%-12s\n", prob.name.c_str());
+    std::printf("%-10s %8s %12s %9s %9s %10s\n", "relax", "#sn",
+                "stored nnz", "nnz ovh", "flop ovh", "factor");
+    count_t base_nnz = 0;
+    count_t base_flops = 0;
+    for (const Setting& s : settings) {
+      OrderingOptions nd;
+      AmalgamationOptions am;
+      am.enable = s.enable;
+      am.relax_small = s.relax_small;
+      am.relax_ratio = s.relax_ratio;
+      const SymbolicFactor sym =
+          analyze_nested_dissection(prob.lower, nd, am);
+      if (!s.enable) {
+        base_nnz = sym.nnz_stored;
+        base_flops = sym.total_flops;
+      }
+      FactorStats fs;
+      (void)multifrontal_factor(sym, &fs);
+      std::printf("%-10s %8d %12lld %8.1f%% %8.1f%% %9.3fs\n", s.label,
+                  sym.n_supernodes,
+                  static_cast<long long>(sym.nnz_stored),
+                  100.0 * (static_cast<double>(sym.nnz_stored) / base_nnz -
+                           1.0),
+                  100.0 * (static_cast<double>(sym.total_flops) /
+                               base_flops -
+                           1.0),
+                  fs.seconds);
+    }
+  }
+  std::printf(
+      "# expected shape: factor time dips at moderate relaxation (bigger "
+      "dense fronts) and rises again as the zero overhead grows.\n");
+  return 0;
+}

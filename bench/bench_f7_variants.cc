@@ -1,0 +1,95 @@
+// F7 — Algorithm-variant study (extension experiments):
+//   (a) multifrontal vs left-looking supernodal: measured serial
+//       factorization time and resident update-stack memory,
+//   (b) out-of-core multifrontal: time overhead and resident footprint,
+//   (c) direct solve vs IC(0)-preconditioned CG: setup time, per-solve
+//       time, iterations — the classic direct/iterative trade-off (the
+//       direct method amortizes over repeated solves).
+#include <cstdio>
+#include <vector>
+
+#include "api/solver.h"
+#include "baseline/iccg.h"
+#include "baseline/left_looking.h"
+#include "bench/common.h"
+#include "mf/multifrontal.h"
+#include "mf/ooc.h"
+#include "solve/solve.h"
+#include "support/prng.h"
+#include "support/timer.h"
+
+using namespace parfact;
+
+int main() {
+  bench::heading("F7a: multifrontal vs left-looking vs out-of-core");
+  std::printf("%-12s %12s %12s %12s %14s %14s\n", "matrix", "mf [s]",
+              "leftlook [s]", "ooc [s]", "mf stack", "ooc resident");
+  const auto suite = bench::suite(bench::env_scale(0.5));
+  for (const auto& prob : suite) {
+    const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
+    FactorStats mf_stats, ll_stats, ooc_stats;
+    (void)multifrontal_factor(sym, &mf_stats);
+    (void)left_looking_factor(sym, &ll_stats);
+    {
+      const OocCholeskyFactor ooc = multifrontal_factor_ooc(
+          sym, "/tmp/parfact_bench_ooc.bin", &ooc_stats);
+    }
+    std::printf("%-12s %12.3f %12.3f %12.3f %14s %14s\n", prob.name.c_str(),
+                mf_stats.seconds, ll_stats.seconds, ooc_stats.seconds,
+                bench::fmt_bytes(
+                    static_cast<double>(mf_stats.peak_update_bytes))
+                    .c_str(),
+                bench::fmt_bytes(
+                    static_cast<double>(ooc_stats.peak_update_bytes))
+                    .c_str());
+  }
+
+  bench::heading("F7b: direct multifrontal vs IC(0)-preconditioned CG");
+  std::printf("%-12s %10s %10s | %10s %10s %7s | %12s\n", "matrix",
+              "factor", "solve", "ic0 setup", "cg solve", "iters",
+              "break-even");
+  for (const auto& prob : suite) {
+    const index_t n = prob.lower.rows;
+    Prng rng(5);
+    std::vector<real_t> b(static_cast<std::size_t>(n));
+    for (auto& v : b) v = rng.next_real(-1, 1);
+
+    // Direct path.
+    const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
+    FactorStats fstats;
+    const CholeskyFactor f = multifrontal_factor(sym, &fstats);
+    std::vector<real_t> xd(b);
+    WallTimer t;
+    solve_in_place(f, MatrixView{xd.data(), n, 1, n});
+    const double t_solve = t.seconds();
+
+    // Iterative path.
+    t.restart();
+    const SparseMatrix ic = incomplete_cholesky0(prob.lower);
+    const double t_ic = t.seconds();
+    std::vector<real_t> xi(static_cast<std::size_t>(n), 0.0);
+    t.restart();
+    const CgResult cg =
+        conjugate_gradient(prob.lower, b, xi, &ic, 5000, 1e-10);
+    const double t_cg = t.seconds();
+
+    // Number of solves after which the direct method wins.
+    const double denom = t_cg - t_solve;
+    const double breakeven =
+        denom > 0 ? (fstats.seconds - t_ic) / denom : -1.0;
+    char be[32];
+    if (breakeven < 0) {
+      std::snprintf(be, sizeof be, "direct always");
+    } else {
+      std::snprintf(be, sizeof be, "%.1f solves", breakeven);
+    }
+    std::printf("%-12s %10.3f %10.4f | %10.3f %10.3f %7d | %12s%s\n",
+                prob.name.c_str(), fstats.seconds, t_solve, t_ic, t_cg,
+                cg.iterations, be, cg.converged ? "" : " (CG stalled)");
+  }
+  std::printf(
+      "# expected shape: multifrontal and left-looking within ~2x of each "
+      "other; CG per-solve slower than the triangular solve, so direct wins "
+      "after a handful of right-hand sides on 3-D problems.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// T2 — Strong scaling of the numeric factorization (the paper's headline
+// table): simulated factorization time and aggregate Gflop/s per matrix for
+// P = 1 .. 1024 ranks, subtree-to-subcube mapping with 2-D block-cyclic
+// fronts. Times come from the calibrated block-level schedule replay
+// (perf/dag_sim); the schedule itself is validated against real mpsim
+// execution by tests/perf_test.cc.
+#include <cstdio>
+
+#include "api/solver.h"
+#include "bench/common.h"
+#include "perf/dag_sim.h"
+
+using namespace parfact;
+
+int main() {
+  bench::heading("T2: factorization strong scaling (2-D multifrontal)");
+  const mpsim::MachineModel model = bench::calibrated_model();
+  const int ps[] = {1, 4, 16, 64, 256, 1024};
+
+  for (const auto& prob : bench::suite()) {
+    const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
+    std::printf("\n%-12s (n=%d, %.2f GFLOP)\n", prob.name.c_str(), sym.n,
+                static_cast<double>(sym.total_flops) / 1e9);
+    std::printf("%6s %12s %12s %10s\n", "P", "time [s]", "Gflop/s", "eff");
+    double t1 = 0.0;
+    for (const int p : ps) {
+      const FrontMap map =
+          build_front_map(sym, p, MappingStrategy::kSubtree2d);
+      const PerfResult r = simulate_factor_time(sym, map, model);
+      if (p == 1) t1 = r.makespan;
+      std::printf("%6d %12.4f %12.2f %9.0f%%\n", p, r.makespan,
+                  static_cast<double>(sym.total_flops) / r.makespan / 1e9,
+                  100.0 * t1 / r.makespan / p);
+    }
+  }
+  return 0;
+}

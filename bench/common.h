@@ -1,0 +1,68 @@
+// Shared infrastructure for the experiment harnesses (one binary per table
+// or figure of DESIGN.md §4).
+//
+// Problem scale: benches default to PARFACT_SCALE=0.7 of the paper-suite
+// grid dimensions so the full set completes in minutes on one core; set
+// PARFACT_SCALE=1.0 to regenerate at full size. Scaling *curves* are not
+// affected by the knob — only absolute sizes.
+//
+// Machine model: per-rank flop rate is calibrated from the measured GEMM
+// kernel throughput of this host; interconnect latency/bandwidth default to
+// the mpsim model (a commodity-cluster-like alpha-beta link), which stands
+// in for the paper's Blue Gene-class network per the substitution rules.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "mpsim/machine.h"
+#include "sparse/gen.h"
+
+namespace parfact::bench {
+
+inline double env_scale(double def = 0.7) {
+  if (const char* s = std::getenv("PARFACT_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return def;
+}
+
+inline std::vector<TestProblem> suite(double scale_override = -1.0) {
+  const double s = scale_override > 0.0 ? scale_override : env_scale();
+  std::printf("# suite scale = %.2f (set PARFACT_SCALE=1.0 for full size)\n",
+              s);
+  return test_suite(s);
+}
+
+inline mpsim::MachineModel calibrated_model() {
+  mpsim::MachineModel model;
+  model.flop_rate = measure_gemm_rate(192);
+  std::printf(
+      "# machine model: flop_rate=%.2f Gflop/s (measured), "
+      "alpha=%.1f us, bw=%.2f GB/s\n",
+      model.flop_rate / 1e9, model.alpha * 1e6, 1.0 / model.beta / 1e9);
+  return model;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Human-readable byte count.
+inline std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", b / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f kB", b / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace parfact::bench

@@ -1,0 +1,133 @@
+// Non-overlapping domain decomposition via the Schur-complement service —
+// the classic coupled-solve workflow the paper-lineage solvers expose their
+// partial-factorization API for.
+//
+// A 2-D Poisson problem on an (2w+s) x h grid is split into two subdomains
+// separated by an s-wide interface strip. Each subdomain is factorized
+// independently (in a real deployment: on different machines); the dense
+// interface Schur complement couples them:
+//
+//   S = A_II - sum_k A_Ik A_kk^{-1} A_kI,     S x_I = b_I - sum_k A_Ik y_k.
+//
+// The example verifies the decomposed solution against a direct solve of
+// the monolithic system.
+//
+// Build & run:  ./build/examples/domain_decomposition [w h]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/schur.h"
+#include "api/solver.h"
+#include "dense/kernels.h"
+#include "sparse/sparse_matrix.h"
+
+using namespace parfact;
+
+int main(int argc, char** argv) {
+  index_t w = 40, h = 40;
+  if (argc == 3) {
+    w = std::atoi(argv[1]);
+    h = std::atoi(argv[2]);
+  }
+  const index_t s = 1;                // interface strip width
+  const index_t nx = 2 * w + s;
+  const index_t n = nx * h;
+
+  // Number unknowns so that domain 1 comes first, then domain 2, then the
+  // interface — the layout schur_complement() expects (interface last).
+  const auto id = [&](index_t x, index_t y) -> index_t {
+    if (x < w) return y * w + x;                          // domain 1
+    if (x >= w + s) return w * h + y * w + (x - w - s);   // domain 2
+    return 2 * w * h + y * s + (x - w);                   // interface
+  };
+
+  TripletBuilder builder(n, n);
+  for (index_t y = 0; y < h; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t me = id(x, y);
+      builder.add(me, me, 4.05);
+      const auto couple = [&](index_t ox, index_t oy) {
+        const index_t other = id(ox, oy);
+        if (other < me) builder.add(me, other, -1.0);
+      };
+      if (x > 0) couple(x - 1, y);
+      if (x + 1 < nx) couple(x + 1, y);
+      if (y > 0) couple(x, y - 1);
+      if (y + 1 < h) couple(x, y + 1);
+    }
+  }
+  const SparseMatrix a = builder.build();
+  const index_t k = s * h;  // interface size
+  std::printf("grid %dx%d -> %d unknowns, interface of %d\n", nx, h, n, k);
+
+  // Right-hand side: unit load everywhere.
+  const std::vector<real_t> b(static_cast<std::size_t>(n), 1.0);
+
+  // --- Monolithic direct solve (the reference). -----------------------------
+  Solver mono;
+  mono.analyze(a);
+  mono.factorize();
+  const auto x_ref = mono.solve(b);
+
+  // --- Decomposed solve. -----------------------------------------------------
+  // 1. Interface Schur complement (internally factorizes the two decoupled
+  //    subdomains, which appear as independent blocks of A11).
+  std::vector<real_t> schur = schur_complement(a, k);
+
+  // 2. Condensed RHS: g = b_I - A_I,1..2 A11^{-1} b_1..2.
+  const index_t m = n - k;
+  TripletBuilder b11(m, m);
+  std::vector<std::vector<std::pair<index_t, real_t>>> a_ik(
+      static_cast<std::size_t>(k));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const index_t i = a.row_ind[p];
+      if (j < m && i < m) b11.add(i, j, a.values[p]);
+      if (j < m && i >= m) a_ik[i - m].emplace_back(j, a.values[p]);
+    }
+  }
+  Solver sub;  // both subdomains in one decoupled solve
+  sub.analyze(b11.build());
+  sub.factorize();
+  const std::vector<real_t> b1(b.begin(), b.begin() + m);
+  const auto y = sub.solve(b1);
+  std::vector<real_t> g(static_cast<std::size_t>(k));
+  for (index_t i = 0; i < k; ++i) {
+    real_t acc = b[m + i];
+    for (const auto& [col, v] : a_ik[i]) acc -= v * y[col];
+    g[i] = acc;
+  }
+
+  // 3. Dense interface solve S x_I = g.
+  MatrixView sv{schur.data(), k, k, k};
+  if (potrf_lower(sv) != kNone) {
+    std::fprintf(stderr, "interface Schur complement not SPD?\n");
+    return 1;
+  }
+  MatrixView gv{g.data(), k, 1, k};
+  trsm_left_lower(sv, gv);
+  trsm_left_lower_trans(sv, gv);
+
+  // 4. Back-substitution in the subdomains: x_1..2 = A11^{-1}(b - A_kI x_I).
+  std::vector<real_t> rhs1 = b1;
+  for (index_t i = 0; i < k; ++i) {
+    for (const auto& [col, v] : a_ik[i]) rhs1[col] -= v * g[i];
+  }
+  const auto x_sub = sub.solve(rhs1);
+
+  // --- Compare. ---------------------------------------------------------------
+  real_t max_err = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    max_err = std::max(max_err, std::abs(x_sub[i] - x_ref[i]));
+  }
+  for (index_t i = 0; i < k; ++i) {
+    max_err = std::max(max_err, std::abs(g[i] - x_ref[m + i]));
+  }
+  std::printf("max |x_dd - x_direct| = %.2e\n", max_err);
+  std::printf("subdomain factor: %.1f MFLOP; monolithic factor: %.1f MFLOP\n",
+              static_cast<double>(sub.report().factor_flops) / 1e6,
+              static_cast<double>(mono.report().factor_flops) / 1e6);
+  return max_err < 1e-8 ? 0 : 1;
+}

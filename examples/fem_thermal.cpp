@@ -1,0 +1,89 @@
+// Steady-state heat conduction on a 3-D block with an embedded hot source —
+// the kind of finite-element workload the paper's solver was built for.
+//
+// Discretization: 7-point finite differences on an nx*ny*nz grid (a unit
+// conductivity Laplacian with Dirichlet walls), with a localized volumetric
+// heat source. We assemble the system ourselves from stencil contributions
+// to show the TripletBuilder API, solve with two different orderings, and
+// compare their analysis quality.
+//
+// Build & run:  ./build/examples/fem_thermal [nx ny nz]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/solver.h"
+#include "sparse/sparse_matrix.h"
+
+using namespace parfact;
+
+namespace {
+
+index_t node(index_t x, index_t y, index_t z, index_t nx, index_t ny) {
+  return (z * ny + y) * nx + x;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t nx = 30, ny = 30, nz = 30;
+  if (argc == 4) {
+    nx = std::atoi(argv[1]);
+    ny = std::atoi(argv[2]);
+    nz = std::atoi(argv[3]);
+  }
+  const index_t n = nx * ny * nz;
+  std::printf("thermal block: %dx%dx%d grid, %d unknowns\n", nx, ny, nz, n);
+
+  // Assemble -div(grad T) with Dirichlet boundaries (lower triangle only).
+  TripletBuilder builder(n, n);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t me = node(x, y, z, nx, ny);
+        builder.add(me, me, 6.0);
+        if (x > 0) builder.add(me, node(x - 1, y, z, nx, ny), -1.0);
+        if (y > 0) builder.add(me, node(x, y - 1, z, nx, ny), -1.0);
+        if (z > 0) builder.add(me, node(x, y, z - 1, nx, ny), -1.0);
+      }
+    }
+  }
+  const SparseMatrix a = builder.build();
+
+  // Heat source: a small hot cube in the lower octant.
+  std::vector<real_t> q(static_cast<std::size_t>(n), 0.0);
+  for (index_t z = nz / 8; z < nz / 4; ++z) {
+    for (index_t y = ny / 8; y < ny / 4; ++y) {
+      for (index_t x = nx / 8; x < nx / 4; ++x) {
+        q[node(x, y, z, nx, ny)] = 1.0;
+      }
+    }
+  }
+
+  for (const auto ordering :
+       {SolverOptions::Ordering::kNestedDissection,
+        SolverOptions::Ordering::kMinimumDegree}) {
+    if (ordering == SolverOptions::Ordering::kMinimumDegree && n > 40000) {
+      std::printf("mindeg    : skipped (n too large for exact-degree MD)\n");
+      continue;
+    }
+    SolverOptions opts;
+    opts.ordering = ordering;
+    Solver solver(opts);
+    solver.analyze(a);
+    solver.factorize();
+    const std::vector<real_t> temp = solver.solve_refined(q);
+    const real_t peak = *std::max_element(temp.begin(), temp.end());
+    std::printf(
+        "%-10s: nnz(L)=%9lld  %.2f GFLOP  analyze %.2fs  factor %.2fs  "
+        "peak T=%.4f  resid %.1e\n",
+        ordering == SolverOptions::Ordering::kNestedDissection ? "nested-dis"
+                                                               : "mindeg",
+        static_cast<long long>(solver.report().nnz_factor),
+        static_cast<double>(solver.report().factor_flops) / 1e9,
+        solver.report().analyze_seconds, solver.report().factor_seconds,
+        peak, solver.residual(temp, q));
+  }
+  return 0;
+}

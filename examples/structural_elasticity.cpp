@@ -1,0 +1,71 @@
+// Linear-elastic analysis of a clamped cantilever block — the structural-
+// mechanics workload class (3 dof per node, hexahedral elements) that the
+// paper's industrial matrices come from.
+//
+// The block is clamped at z=0 (built into the generator as a stiff Dirichlet
+// penalty) and loaded with three separate load cases solved against the one
+// factorization — the multiple-RHS pattern typical of engineering runs:
+//   1. gravity (uniform -z body force),
+//   2. lateral wind (uniform +x body force),
+//   3. tip point load.
+//
+// Build & run:  ./build/examples/structural_elasticity [ne]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "api/solver.h"
+#include "sparse/gen.h"
+
+using namespace parfact;
+
+int main(int argc, char** argv) {
+  index_t ne = 12;  // elements per edge
+  if (argc == 2) ne = std::atoi(argv[1]);
+  const index_t nn = ne + 1;          // nodes per edge
+  const index_t n = 3 * nn * nn * nn; // dofs
+  std::printf("cantilever block: %d^3 elements, %d dofs\n", ne, n);
+
+  const SparseMatrix k = elasticity_3d(ne, ne, ne, /*e_modulus=*/1.0,
+                                       /*nu=*/0.3);
+
+  SolverOptions opts;
+  opts.threads = 2;  // shared-memory tree parallelism
+  Solver solver(opts);
+  solver.analyze(k);
+  solver.factorize();
+  std::printf("factor: nnz(L)=%lld, %.2f GFLOP, %.2fs\n",
+              static_cast<long long>(solver.report().nnz_factor),
+              static_cast<double>(solver.report().factor_flops) / 1e9,
+              solver.report().factor_seconds);
+
+  const auto dof = [nn](index_t x, index_t y, index_t z, int c) {
+    return 3 * ((z * nn + y) * nn + x) + c;
+  };
+
+  // Load cases.
+  std::vector<std::vector<real_t>> loads(3,
+                                         std::vector<real_t>(n, 0.0));
+  for (index_t i = 0; i < n / 3; ++i) {
+    loads[0][3 * i + 2] = -1e-3;  // gravity
+    loads[1][3 * i + 0] = 5e-4;   // wind
+  }
+  loads[2][dof(nn - 1, nn / 2, nn - 1, 2)] = -0.1;  // tip point load
+
+  const char* names[] = {"gravity", "wind", "tip load"};
+  for (int c = 0; c < 3; ++c) {
+    const std::vector<real_t> u = solver.solve_refined(loads[c]);
+    // Tip deflection magnitude at the top corner.
+    const index_t tip = dof(nn - 1, nn - 1, nn - 1, 0);
+    const real_t ux = u[tip];
+    const real_t uy = u[tip + 1];
+    const real_t uz = u[tip + 2];
+    std::printf("%-8s: tip displacement = (%+.4e, %+.4e, %+.4e), |u|=%.4e, "
+                "resid=%.1e\n",
+                names[c], ux, uy, uz,
+                std::sqrt(ux * ux + uy * uy + uz * uz),
+                solver.residual(u, loads[c]));
+  }
+  return 0;
+}

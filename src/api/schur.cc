@@ -1,0 +1,59 @@
+#include "api/schur.h"
+
+#include <vector>
+
+#include "api/solver.h"
+#include "support/error.h"
+
+namespace parfact {
+
+std::vector<real_t> schur_complement(const SparseMatrix& lower, index_t k) {
+  PARFACT_CHECK(lower.rows == lower.cols);
+  PARFACT_CHECK(k >= 0 && k <= lower.rows);
+  const index_t n = lower.rows;
+  const index_t m = n - k;
+
+  // Split the lower-stored input into A11 (lower), the rows of A21, and the
+  // dense lower A22.
+  TripletBuilder b11(m, m);
+  std::vector<std::vector<std::pair<index_t, real_t>>> a21(
+      static_cast<std::size_t>(k));  // per Schur row: (col < m, value)
+  std::vector<real_t> s(static_cast<std::size_t>(k) * k, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = lower.col_ptr[j]; p < lower.col_ptr[j + 1]; ++p) {
+      const index_t i = lower.row_ind[p];
+      const real_t v = lower.values[p];
+      if (j < m) {
+        if (i < m) {
+          b11.add(i, j, v);
+        } else {
+          a21[i - m].emplace_back(j, v);
+        }
+      } else {
+        s[static_cast<std::size_t>(j - m) * k + (i - m)] = v;  // A22 lower
+      }
+    }
+  }
+  if (k == 0) return s;
+  if (m == 0) return s;  // S == A22
+
+  Solver solver;
+  solver.analyze(b11.build());
+  solver.factorize();
+
+  // S(:, j) -= A21 * (A11⁻¹ * A21ᵀ e_j), one solve per Schur column.
+  std::vector<real_t> rhs(static_cast<std::size_t>(m));
+  for (index_t j = 0; j < k; ++j) {
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (const auto& [col, v] : a21[j]) rhs[col] = v;
+    const std::vector<real_t> w = solver.solve(rhs);
+    for (index_t i = j; i < k; ++i) {
+      real_t dot = 0.0;
+      for (const auto& [col, v] : a21[i]) dot += v * w[col];
+      s[static_cast<std::size_t>(j) * k + i] -= dot;
+    }
+  }
+  return s;
+}
+
+}  // namespace parfact

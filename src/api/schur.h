@@ -1,0 +1,24 @@
+// Schur complement computation — the "partial factorization" service the
+// WSMP lineage exposes for domain decomposition and coupled multi-physics:
+// given the 2x2 block view
+//   A = [ A11  A12 ]      (A11: the first n-k rows/cols, A22: the last k)
+//       [ A21  A22 ]
+// compute the dense Schur complement S = A22 - A21 A11⁻¹ A12 (symmetric;
+// only the lower triangle is returned).
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// Dense lower-triangle Schur complement of the trailing k x k block of the
+/// lower-stored SPD matrix `lower`. Column-major k x k buffer (upper
+/// triangle left zero). A11 must itself be SPD (it is, for SPD A).
+/// Cost: one factorization of A11 plus k sparse-RHS solves.
+[[nodiscard]] std::vector<real_t> schur_complement(const SparseMatrix& lower,
+                                                   index_t k);
+
+}  // namespace parfact

@@ -1,0 +1,168 @@
+#include "api/solver.h"
+
+#include <utility>
+
+#include "graph/graph.h"
+#include "mf/multifrontal.h"
+#include "solve/condest.h"
+#include "solve/solve.h"
+#include "sparse/ops.h"
+#include "support/error.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace parfact {
+
+Solver::Solver(SolverOptions options) : options_(std::move(options)) {
+  PARFACT_CHECK(options_.threads >= 1);
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+void Solver::analyze(const SparseMatrix& lower) {
+  WallTimer timer;
+  PARFACT_CHECK(lower.rows == lower.cols);
+  original_lower_ = lower;
+  factor_.reset();
+
+  // Fill-reducing permutation (new -> old).
+  std::vector<index_t> fill_perm;
+  switch (options_.ordering) {
+    case SolverOptions::Ordering::kNestedDissection:
+      if (options_.threads > 1) {
+        ThreadPool pool(options_.threads);
+        fill_perm = nested_dissection_parallel(graph_from_pattern(lower),
+                                               options_.nd, pool);
+      } else {
+        fill_perm =
+            nested_dissection(graph_from_pattern(lower), options_.nd);
+      }
+      break;
+    case SolverOptions::Ordering::kMinimumDegree:
+      fill_perm = minimum_degree(graph_from_pattern(lower));
+      break;
+    case SolverOptions::Ordering::kRcm:
+      fill_perm = rcm(graph_from_pattern(lower));
+      break;
+    case SolverOptions::Ordering::kNatural:
+      fill_perm.resize(static_cast<std::size_t>(lower.rows));
+      for (index_t i = 0; i < lower.rows; ++i) fill_perm[i] = i;
+      break;
+  }
+
+  const SparseMatrix permuted =
+      lower_triangle(permute_symmetric(symmetrize_full(lower), fill_perm));
+  sym_.emplace(parfact::analyze(permuted, options_.amalgamation));
+
+  // Compose: postordered index -> fill index -> original index.
+  total_perm_.resize(static_cast<std::size_t>(lower.rows));
+  for (index_t k = 0; k < lower.rows; ++k) {
+    total_perm_[k] = fill_perm[sym_->post[k]];
+  }
+  PARFACT_CHECK(is_permutation(total_perm_));
+
+  report_ = SolverReport{};
+  report_.n = lower.rows;
+  report_.nnz_a = lower.nnz();
+  report_.nnz_factor = sym_->nnz_strict;
+  report_.factor_flops = sym_->total_flops;
+  report_.n_supernodes = sym_->n_supernodes;
+  report_.analyze_seconds = timer.seconds();
+}
+
+void Solver::factorize() {
+  PARFACT_CHECK_MSG(sym_.has_value(), "factorize() before analyze()");
+  FactorStats stats;
+  if (options_.threads > 1) {
+    ThreadPool pool(options_.threads);
+    factor_.emplace(multifrontal_factor_parallel(*sym_, pool, &stats,
+                                                 options_.factor_kind));
+  } else {
+    factor_.emplace(
+        multifrontal_factor(*sym_, &stats, options_.factor_kind));
+  }
+  report_.factor_seconds = stats.seconds;
+  report_.peak_update_bytes = stats.peak_update_bytes;
+}
+
+std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
+  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
+  const index_t n = sym_->n;
+  PARFACT_CHECK(static_cast<index_t>(b.size()) == n);
+  std::vector<real_t> pb(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) pb[k] = b[total_perm_[k]];
+  solve_in_place(*factor_, MatrixView{pb.data(), n, 1, n});
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) x[total_perm_[k]] = pb[k];
+  return x;
+}
+
+std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
+                                        index_t nrhs) const {
+  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
+  const index_t n = sym_->n;
+  PARFACT_CHECK(nrhs >= 1);
+  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
+                static_cast<count_t>(n) * nrhs);
+  std::vector<real_t> pb(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) pb[off + kk] = b[off + total_perm_[kk]];
+  }
+  solve_in_place(*factor_, MatrixView{pb.data(), n, nrhs, n});
+  std::vector<real_t> x(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) x[off + total_perm_[kk]] = pb[off + kk];
+  }
+  return x;
+}
+
+std::vector<real_t> Solver::solve_refined(std::span<const real_t> b) const {
+  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
+  const index_t n = sym_->n;
+  // Refine in the postordered space, where the factor lives.
+  std::vector<real_t> pb(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) pb[k] = b[total_perm_[k]];
+  std::vector<real_t> px = pb;
+  solve_in_place(*factor_, MatrixView{px.data(), n, 1, n});
+  (void)iterative_refinement(sym_->a, *factor_, pb, px,
+                             options_.refinement_steps);
+  std::vector<real_t> x(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) x[total_perm_[k]] = px[k];
+  return x;
+}
+
+real_t Solver::residual(std::span<const real_t> x,
+                        std::span<const real_t> b) const {
+  return relative_residual(original_lower_, x, b);
+}
+
+real_t Solver::condition_estimate() const {
+  PARFACT_CHECK_MSG(factor_.has_value(),
+                    "condition_estimate() before factorize()");
+  return estimate_condition_1(sym_->a, *factor_);
+}
+
+const SymbolicFactor& Solver::symbolic() const {
+  PARFACT_CHECK(sym_.has_value());
+  return *sym_;
+}
+
+const CholeskyFactor& Solver::factor() const {
+  PARFACT_CHECK(factor_.has_value());
+  return *factor_;
+}
+
+SymbolicFactor analyze_nested_dissection(const SparseMatrix& lower,
+                                         const OrderingOptions& nd,
+                                         const AmalgamationOptions& amalg) {
+  const std::vector<index_t> perm =
+      nested_dissection(graph_from_pattern(lower), nd);
+  return analyze(
+      lower_triangle(permute_symmetric(symmetrize_full(lower), perm)), amalg);
+}
+
+}  // namespace parfact

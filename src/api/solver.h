@@ -1,0 +1,111 @@
+// High-level solver facade: the public API a downstream user calls.
+//
+// Composes the full pipeline of the paper's solver:
+//   analyze()   — fill-reducing ordering (nested dissection by default),
+//                 postorder, supernodes, assembly tree;
+//   factorize() — multifrontal Cholesky (serial or shared-memory parallel);
+//   solve()     — triangular solves + optional iterative refinement,
+// with all permutations handled internally: callers stay in their original
+// row/column numbering throughout.
+//
+// The distributed/simulated execution paths (dist/, perf/) are deliberately
+// separate entry points driven by the experiments; this facade is the
+// "desktop" interface.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/ordering.h"
+#include "mf/factor.h"
+#include "mf/multifrontal.h"
+#include "sparse/sparse_matrix.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+struct SolverOptions {
+  enum class Ordering { kNestedDissection, kMinimumDegree, kRcm, kNatural };
+  Ordering ordering = Ordering::kNestedDissection;
+  OrderingOptions nd;                  ///< nested-dissection knobs
+  AmalgamationOptions amalgamation;    ///< supernode relaxation knobs
+  int threads = 1;                     ///< factorization threads (>=1)
+  int refinement_steps = 2;            ///< iterative-refinement iterations
+  /// Cholesky for SPD input; LDLᵀ (no pivoting) for symmetric
+  /// quasi-definite input such as KKT saddle-point systems.
+  FactorKind factor_kind = FactorKind::kCholesky;
+};
+
+/// Summary of the last analyze/factorize, in the units the paper reports.
+struct SolverReport {
+  count_t n = 0;
+  count_t nnz_a = 0;
+  count_t nnz_factor = 0;       ///< strict factor nonzeros
+  count_t factor_flops = 0;
+  index_t n_supernodes = 0;
+  double analyze_seconds = 0.0;
+  double factor_seconds = 0.0;
+  std::size_t peak_update_bytes = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+
+  /// Symbolic phase. `lower` must be the lower triangle of an SPD matrix
+  /// with a fully populated diagonal. Keeps a permuted copy internally.
+  void analyze(const SparseMatrix& lower);
+
+  /// Numeric phase; requires analyze() first. Throws on non-SPD input.
+  void factorize();
+
+  /// Solves A x = b in the caller's original ordering; requires factorize().
+  [[nodiscard]] std::vector<real_t> solve(std::span<const real_t> b) const;
+
+  /// Blocked multiple-right-hand-side solve: `b` is n x nrhs column-major;
+  /// returns the n x nrhs solution block (one factorization, one blocked
+  /// triangular sweep — the engineering-workload pattern).
+  [[nodiscard]] std::vector<real_t> solve_multi(std::span<const real_t> b,
+                                                index_t nrhs) const;
+
+  /// Solve with iterative refinement (options.refinement_steps iterations).
+  [[nodiscard]] std::vector<real_t> solve_refined(
+      std::span<const real_t> b) const;
+
+  /// Relative residual of a candidate solution in original ordering.
+  [[nodiscard]] real_t residual(std::span<const real_t> x,
+                                std::span<const real_t> b) const;
+
+  [[nodiscard]] const SolverReport& report() const { return report_; }
+  [[nodiscard]] const SymbolicFactor& symbolic() const;
+  [[nodiscard]] const CholeskyFactor& factor() const;
+  /// Combined permutation: original index of postordered index k.
+  [[nodiscard]] const std::vector<index_t>& permutation() const {
+    return total_perm_;
+  }
+
+  /// Estimated 1-norm condition number of A (requires factorize()).
+  [[nodiscard]] real_t condition_estimate() const;
+
+ private:
+  SolverOptions options_;
+  SolverReport report_;
+  std::optional<SymbolicFactor> sym_;
+  std::optional<CholeskyFactor> factor_;
+  std::vector<index_t> total_perm_;  ///< postordered -> original
+  SparseMatrix original_lower_;      ///< kept for residuals/refinement
+};
+
+/// Convenience for experiments: fill-order `lower` with nested dissection
+/// and run the symbolic phase, returning the SymbolicFactor whose `post`
+/// composes both permutations (i.e. analyze(nd_permuted(A))).
+[[nodiscard]] SymbolicFactor analyze_nested_dissection(
+    const SparseMatrix& lower, const OrderingOptions& nd = {},
+    const AmalgamationOptions& amalg = {});
+
+}  // namespace parfact

@@ -1,0 +1,25 @@
+// Left-looking supernodal Cholesky — the second major algorithm class for
+// sparse factorization (SuperLU/CHOLMOD style), implemented against the same
+// SymbolicFactor and producing the same CholeskyFactor layout as the
+// multifrontal engine.
+//
+// Where the multifrontal method pushes Schur updates *forward* through
+// per-front update blocks (bounded dense working set, extra update-stack
+// memory), the left-looking method *pulls* all descendant updates into each
+// supernode panel right before eliminating it (no update stack, scattered
+// reads into descendants). Comparing the two on equal footing is a classic
+// evaluation axis of the paper lineage (experiment F7).
+#pragma once
+
+#include "mf/factor.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+/// Left-looking supernodal factorization of sym.a. The result is
+/// numerically equivalent to multifrontal_factor (same panels, different
+/// summation order). Throws parfact::Error if the matrix is not SPD.
+[[nodiscard]] CholeskyFactor left_looking_factor(const SymbolicFactor& sym,
+                                                 FactorStats* stats = nullptr);
+
+}  // namespace parfact

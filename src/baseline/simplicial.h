@@ -1,0 +1,36 @@
+// Simplicial (column-by-column) sparse Cholesky — the classic non-supernodal
+// baseline solver class the paper's evaluation compares against, and the
+// independent reference the test suite checks the multifrontal factor
+// against (same ordering => same L up to roundoff).
+#pragma once
+
+#include <span>
+
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+struct SimplicialStats {
+  count_t nnz_l = 0;
+  double seconds = 0.0;
+};
+
+/// Left-looking column Cholesky of a lower-stored SPD matrix. Returns L
+/// (lower-stored CSC with sorted rows, diagonal first in each column).
+/// Throws parfact::Error if a non-positive pivot appears.
+[[nodiscard]] SparseMatrix simplicial_cholesky(const SparseMatrix& lower,
+                                               SimplicialStats* stats =
+                                                   nullptr);
+
+/// x := L⁻¹ x for a lower-stored CSC factor.
+void simplicial_forward_solve(const SparseMatrix& l, std::span<real_t> x);
+
+/// x := L⁻ᵀ x.
+void simplicial_backward_solve(const SparseMatrix& l, std::span<real_t> x);
+
+/// Dense Cholesky solve of a sparse SPD matrix (densifies; n must be small).
+/// Baseline sanity comparator for tests and the T3 experiment's footnote.
+void dense_cholesky_solve(const SparseMatrix& lower, std::span<real_t> x);
+
+}  // namespace parfact

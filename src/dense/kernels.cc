@@ -1,0 +1,231 @@
+#include "dense/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+#include "support/prng.h"
+#include "support/timer.h"
+
+namespace parfact {
+namespace {
+
+/// Blocking factor for the level-3 kernels: a KB x NB tile of B and a column
+/// stripe of A stay resident in L1/L2 across the inner loops.
+constexpr index_t kBlock = 64;
+
+/// Unblocked Cholesky on a small lower triangle.
+index_t potrf_lower_unblocked(MatrixView a) {
+  PARFACT_CHECK(a.rows == a.cols);
+  const index_t n = a.rows;
+  for (index_t k = 0; k < n; ++k) {
+    real_t d = a.at(k, k);
+    if (d <= 0.0 || !std::isfinite(d)) return k;
+    d = std::sqrt(d);
+    a.at(k, k) = d;
+    const real_t inv = 1.0 / d;
+    for (index_t i = k + 1; i < n; ++i) a.at(i, k) *= inv;
+    for (index_t j = k + 1; j < n; ++j) {
+      const real_t ljk = a.at(j, k);
+      if (ljk == 0.0) continue;
+      for (index_t i = j; i < n; ++i) a.at(i, j) -= a.at(i, k) * ljk;
+    }
+  }
+  return kNone;
+}
+
+}  // namespace
+
+index_t ldlt_lower(MatrixView a, std::span<real_t> d) {
+  PARFACT_CHECK(a.rows == a.cols);
+  PARFACT_CHECK(static_cast<index_t>(d.size()) == a.rows);
+  const index_t n = a.rows;
+  // Blocked variant is unnecessary here: fronts call this only on panel
+  // diagonal blocks (<= a few hundred columns); a cache-friendly kij loop
+  // suffices.
+  for (index_t k = 0; k < n; ++k) {
+    const real_t dk = a.at(k, k);
+    if (dk == 0.0 || !std::isfinite(dk)) return k;
+    d[k] = dk;
+    a.at(k, k) = 1.0;
+    const real_t inv = 1.0 / dk;
+    for (index_t i = k + 1; i < n; ++i) a.at(i, k) *= inv;
+    for (index_t j = k + 1; j < n; ++j) {
+      const real_t w = a.at(j, k) * dk;  // original A(j,k) value
+      if (w == 0.0) continue;
+      for (index_t i = j; i < n; ++i) a.at(i, j) -= a.at(i, k) * w;
+    }
+  }
+  return kNone;
+}
+
+index_t potrf_lower(MatrixView a) {
+  PARFACT_CHECK(a.rows == a.cols);
+  const index_t n = a.rows;
+  for (index_t k = 0; k < n; k += kBlock) {
+    const index_t nb = std::min(kBlock, n - k);
+    MatrixView akk = a.block(k, k, nb, nb);
+    const index_t info = potrf_lower_unblocked(akk);
+    if (info != kNone) return k + info;
+    const index_t rest = n - k - nb;
+    if (rest == 0) continue;
+    MatrixView panel = a.block(k + nb, k, rest, nb);
+    trsm_right_lower_trans(akk, panel);
+    syrk_lower_update(a.block(k + nb, k + nb, rest, rest), panel);
+  }
+  return kNone;
+}
+
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
+  PARFACT_CHECK(l.rows == l.cols && b.cols == l.rows);
+  // Solve X Lᵀ = B column-block by column-block: for column j of X,
+  // x_j = (b_j - sum_{k<j} x_k * L(j,k)) / L(j,j).
+  const index_t n = l.rows;
+  const index_t m = b.rows;
+  for (index_t j = 0; j < n; ++j) {
+    real_t* bj = &b.at(0, j);
+    for (index_t k = 0; k < j; ++k) {
+      const real_t ljk = l.at(j, k);
+      if (ljk == 0.0) continue;
+      const real_t* bk = &b.at(0, k);
+      for (index_t i = 0; i < m; ++i) bj[i] -= bk[i] * ljk;
+    }
+    const real_t inv = 1.0 / l.at(j, j);
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+void trsm_left_lower(ConstMatrixView l, MatrixView x) {
+  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+  const index_t n = l.rows;
+  for (index_t c = 0; c < x.cols; ++c) {
+    real_t* xc = &x.at(0, c);
+    for (index_t k = 0; k < n; ++k) {
+      const real_t xk = xc[k] / l.at(k, k);
+      xc[k] = xk;
+      if (xk == 0.0) continue;
+      const real_t* lk = &l.at(0, k);
+      for (index_t i = k + 1; i < n; ++i) xc[i] -= lk[i] * xk;
+    }
+  }
+}
+
+void trsm_left_lower_trans(ConstMatrixView l, MatrixView x) {
+  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+  const index_t n = l.rows;
+  for (index_t c = 0; c < x.cols; ++c) {
+    real_t* xc = &x.at(0, c);
+    for (index_t k = n - 1; k >= 0; --k) {
+      const real_t* lk = &l.at(0, k);
+      real_t acc = xc[k];
+      for (index_t i = k + 1; i < n; ++i) acc -= lk[i] * xc[i];
+      xc[k] = acc / l.at(k, k);
+    }
+  }
+}
+
+void syrk_lower_update(MatrixView c, ConstMatrixView a) {
+  PARFACT_CHECK(c.rows == c.cols && c.rows == a.rows);
+  const index_t n = c.rows;
+  const index_t kk = a.cols;
+  // Tile over (j, k); the innermost loop is a saxpy down column j of C,
+  // starting at the diagonal.
+  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
+    const index_t j1 = std::min(n, j0 + kBlock);
+    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
+      const index_t k1 = std::min(kk, k0 + kBlock);
+      for (index_t j = j0; j < j1; ++j) {
+        real_t* cj = &c.at(0, j);
+        for (index_t k = k0; k < k1; ++k) {
+          const real_t ajk = a.at(j, k);
+          if (ajk == 0.0) continue;
+          const real_t* ak = &a.at(0, k);
+          for (index_t i = j; i < n; ++i) cj[i] -= ak[i] * ajk;
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  PARFACT_CHECK(c.rows == a.rows && c.cols == b.rows && a.cols == b.cols);
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t kk = a.cols;
+  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
+    const index_t j1 = std::min(n, j0 + kBlock);
+    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
+      const index_t k1 = std::min(kk, k0 + kBlock);
+      for (index_t j = j0; j < j1; ++j) {
+        real_t* cj = &c.at(0, j);
+        for (index_t k = k0; k < k1; ++k) {
+          const real_t bjk = b.at(j, k);
+          if (bjk == 0.0) continue;
+          const real_t* ak = &a.at(0, k);
+          for (index_t i = 0; i < m; ++i) cj[i] -= ak[i] * bjk;
+        }
+      }
+    }
+  }
+}
+
+void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  PARFACT_CHECK(c.rows == a.rows && c.cols == b.cols && a.cols == b.rows);
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t kk = a.cols;
+  for (index_t j = 0; j < n; ++j) {
+    real_t* cj = &c.at(0, j);
+    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
+      const index_t k1 = std::min(kk, k0 + kBlock);
+      for (index_t k = k0; k < k1; ++k) {
+        const real_t bkj = b.at(k, j);
+        if (bkj == 0.0) continue;
+        const real_t* ak = &a.at(0, k);
+        for (index_t i = 0; i < m; ++i) cj[i] -= ak[i] * bkj;
+      }
+    }
+  }
+}
+
+void gemm_tn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  PARFACT_CHECK(c.rows == a.cols && c.cols == b.cols && a.rows == b.rows);
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t kk = a.rows;
+  for (index_t j = 0; j < n; ++j) {
+    const real_t* bj = &b.at(0, j);
+    real_t* cj = &c.at(0, j);
+    for (index_t i = 0; i < m; ++i) {
+      const real_t* ai = &a.at(0, i);
+      real_t acc = 0.0;
+      for (index_t k = 0; k < kk; ++k) acc += ai[k] * bj[k];
+      cj[i] -= acc;
+    }
+  }
+}
+
+double measure_gemm_rate(index_t m) {
+  PARFACT_CHECK(m > 0);
+  std::vector<real_t> ca(static_cast<std::size_t>(m) * m, 0.0);
+  std::vector<real_t> aa(static_cast<std::size_t>(m) * m);
+  std::vector<real_t> ba(static_cast<std::size_t>(m) * m);
+  Prng rng(12345);
+  for (auto& v : aa) v = rng.next_real(-1, 1);
+  for (auto& v : ba) v = rng.next_real(-1, 1);
+  MatrixView c{ca.data(), m, m, m};
+  ConstMatrixView a{aa.data(), m, m, m};
+  ConstMatrixView b{ba.data(), m, m, m};
+  // Warm up once, then time enough repetitions to exceed ~50 ms.
+  gemm_nt_update(c, a, b);
+  const double flops_per_call = 2.0 * m * m * m;
+  int reps = std::max(1, static_cast<int>(2e8 / flops_per_call));
+  WallTimer t;
+  for (int r = 0; r < reps; ++r) gemm_nt_update(c, a, b);
+  const double sec = t.seconds();
+  PARFACT_CHECK(sec > 0.0);
+  return flops_per_call * reps / sec;
+}
+
+}  // namespace parfact

@@ -1,0 +1,58 @@
+// Dense linear-algebra kernels for frontal matrices.
+//
+// The multifrontal factorization spends essentially all numeric time here,
+// in the four Cholesky building blocks (POTRF / TRSM / SYRK / GEMM) plus the
+// solve-phase TRSMs. All kernels are written from scratch (the paper used a
+// vendor BLAS; see DESIGN.md substitutions), cache-blocked, and only touch
+// the referenced triangles.
+//
+// Update kernels follow the factorization's sign convention: they *subtract*
+// the product (C := C - op(A) op(B)).
+#pragma once
+
+#include <span>
+
+#include "dense/matrix_view.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// Cholesky of the lower triangle of `a` in place (a := L with A = L Lᵀ).
+/// Returns kNone on success, or the (0-based) column index of the first
+/// non-positive pivot (matrix not SPD), leaving `a` partially overwritten.
+index_t potrf_lower(MatrixView a);
+
+/// LDLᵀ of the lower triangle of `a` in place, without pivoting: a := L
+/// (unit diagonal stored as 1.0) and d := diag(D). Suitable for symmetric
+/// quasi-definite / strongly factorizable matrices; returns kNone on
+/// success or the column of the first zero pivot.
+index_t ldlt_lower(MatrixView a, std::span<real_t> d);
+
+/// b := b * l⁻ᵀ where l is lower triangular (unit diagonal NOT assumed).
+/// This is the panel update below a factorized diagonal block.
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b);
+
+/// x := l⁻¹ x (forward substitution, multiple right-hand sides).
+void trsm_left_lower(ConstMatrixView l, MatrixView x);
+
+/// x := l⁻ᵀ x (backward substitution, multiple right-hand sides).
+void trsm_left_lower_trans(ConstMatrixView l, MatrixView x);
+
+/// c := c - a * aᵀ, updating the lower triangle of c only. c must be square
+/// with c.rows == a.rows.
+void syrk_lower_update(MatrixView c, ConstMatrixView a);
+
+/// c := c - a * bᵀ. Dimensions: c is (a.rows x b.rows), a.cols == b.cols.
+void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// c := c - a * b. Dimensions: c is (a.rows x b.cols), a.cols == b.rows.
+void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// c := c - aᵀ * b. Dimensions: c is (a.cols x b.cols), a.rows == b.rows.
+void gemm_tn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// Measured throughput (flop/s) of a representative gemm_nt_update of order
+/// `m`; used to calibrate the virtual machine model (experiment K0).
+double measure_gemm_rate(index_t m);
+
+}  // namespace parfact

@@ -1,0 +1,475 @@
+#include "dist/dist_factor.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "dist/front_blocks.h"
+#include "support/error.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+namespace {
+
+// Message purposes multiplexed into tags: tag = kTagStride * s + purpose.
+// FIFO per (source, tag) plus globally consistent iteration order make every
+// channel deterministic (see matching send/recv loops below).
+constexpr int kTagExtendAdd = 0;
+constexpr int kTagDiag = 1;
+constexpr int kTagPanel = 2;
+constexpr int kTagStride = 8;
+
+struct EntryTriple {
+  index_t row;  // front-local row of the *parent* front
+  index_t col;  // front-local col of the parent front
+  real_t value;
+};
+
+/// The locally owned pieces of one front on one rank.
+class LocalFront {
+ public:
+  LocalFront(const FrontBlocking& fb, int pr, int pc, int my_gr, int my_gc)
+      : fb_(fb), pr_(pr), pc_(pc), my_gr_(my_gr), my_gc_(my_gc) {
+    if (my_gr_ < 0) return;  // spectator: owns nothing
+    // Enumerate owned lower blocks (ib >= jb) and lay them out contiguously.
+    std::size_t total = 0;
+    for (index_t jb = my_gc_; jb < fb.nB; jb += pc_) {
+      for (index_t ib = jb; ib < fb.nB; ++ib) {
+        if (ib % pr_ != my_gr_) continue;
+        offset_[{ib, jb}] = total;
+        total += static_cast<std::size_t>(fb.size(ib)) * fb.size(jb);
+      }
+    }
+    data_.assign(total, 0.0);
+  }
+
+  [[nodiscard]] bool owns(index_t ib, index_t jb) const {
+    return my_gr_ >= 0 && ib % pr_ == my_gr_ && jb % pc_ == my_gc_ &&
+           ib >= jb;
+  }
+  [[nodiscard]] MatrixView block(index_t ib, index_t jb) {
+    const auto it = offset_.find({ib, jb});
+    PARFACT_DCHECK(it != offset_.end());
+    return {data_.data() + it->second, fb_.size(ib), fb_.size(jb),
+            fb_.size(ib)};
+  }
+  [[nodiscard]] count_t bytes() const {
+    return static_cast<count_t>(data_.size() * sizeof(real_t));
+  }
+  /// Adds v at front coordinates (i, j), i >= j; the entry must be owned.
+  void add_entry(index_t i, index_t j, real_t v) {
+    const index_t ib = fb_.block_of(i);
+    const index_t jb = fb_.block_of(j);
+    block(ib, jb).at(i - fb_.start(ib), j - fb_.start(jb)) += v;
+  }
+
+  const FrontBlocking& blocking() const { return fb_; }
+
+ private:
+  FrontBlocking fb_;
+  int pr_, pc_, my_gr_, my_gc_;
+  std::map<std::pair<index_t, index_t>, std::size_t> offset_;
+  std::vector<real_t> data_;
+};
+
+/// Owner rank of block (ib, jb) of front s.
+int block_owner(const FrontMap& map, index_t s, index_t ib, index_t jb) {
+  return map.grid_rank(s, static_cast<int>(ib) % map.grid_rows[s],
+                       static_cast<int>(jb) % map.grid_cols[s]);
+}
+
+/// One rank's whole factorization program.
+class RankProgram {
+ public:
+  RankProgram(const SymbolicFactor& sym, const FrontMap& map,
+              CholeskyFactor& factor, mpsim::Comm& comm, FactorKind kind,
+              std::span<real_t> d)
+      : sym_(sym), map_(map), factor_(factor), comm_(comm), kind_(kind),
+        d_(d) {
+    children_.resize(static_cast<std::size_t>(sym.n_supernodes));
+    for (index_t s = 0; s < sym.n_supernodes; ++s) {
+      if (sym.sn_parent[s] != kNone) {
+        children_[sym.sn_parent[s]].push_back(s);
+      }
+    }
+  }
+
+  void run() {
+    for (index_t s = 0; s < sym_.n_supernodes; ++s) {
+      if (!map_.participates(s, comm_.rank())) continue;
+      process_front(s);
+    }
+  }
+
+ private:
+  void process_front(index_t s) {
+    const FrontBlocking fb =
+        FrontBlocking::make(sym_.sn_cols(s), sym_.sn_below(s),
+                            map_.block_size);
+    const int pr = map_.grid_rows[s];
+    const int pc = map_.grid_cols[s];
+    // Spectator participants (grid_coords == {-1,-1}) own no blocks: the
+    // (gr, gc) guards below then never fire, and LocalFront stays empty.
+    const auto [gr, gc] = map_.grid_coords(s, comm_.rank());
+    LocalFront front(fb, pr, pc, gr, gc);
+    comm_.memory_add(front.bytes());
+
+    assemble_matrix_entries(s, front);
+    receive_extend_adds(s, front);
+    factorize(s, front, pr, pc, gr, gc);
+    store_panel(s, front);
+    send_update(s, front);
+    comm_.memory_sub(front.bytes());
+  }
+
+  /// Scatter the owned share of A's columns into the front.
+  void assemble_matrix_entries(index_t s, LocalFront& front) {
+    const index_t first = sym_.sn_start[s];
+    const index_t block_end = sym_.sn_start[s + 1];
+    const index_t p = sym_.sn_cols(s);
+    const auto rows = sym_.below_rows(s);
+    const SparseMatrix& a = sym_.a;
+    count_t touched = 0;
+    for (index_t j = first; j < block_end; ++j) {
+      const index_t lj = j - first;
+      for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+        const index_t gi = a.row_ind[q];
+        index_t li;
+        if (gi < block_end) {
+          li = gi - first;
+        } else {
+          const auto it = std::lower_bound(rows.begin(), rows.end(), gi);
+          PARFACT_DCHECK(it != rows.end() && *it == gi);
+          li = p + static_cast<index_t>(it - rows.begin());
+        }
+        const index_t ib = front.blocking().block_of(li);
+        const index_t jb = front.blocking().block_of(lj);
+        if (block_owner(map_, s, ib, jb) != comm_.rank()) continue;
+        front.add_entry(li, lj, a.values[q]);
+        ++touched;
+      }
+    }
+    comm_.advance_bytes(touched * static_cast<count_t>(sizeof(real_t)));
+  }
+
+  /// Receive the (possibly empty) extend-add message from every rank of
+  /// every child, in (child, source-rank) ascending order.
+  void receive_extend_adds(index_t s, LocalFront& front) {
+    for (index_t c : children_[s]) {
+      const int begin = map_.rank_begin[c];
+      const int end = begin + map_.rank_count[c];
+      for (int src = begin; src < end; ++src) {
+        const auto triples = comm_.recv_vec<EntryTriple>(
+            src, kTagStride * static_cast<int>(s) + kTagExtendAdd);
+        for (const EntryTriple& t : triples) {
+          front.add_entry(t.row, t.col, t.value);
+        }
+        comm_.advance_bytes(static_cast<count_t>(triples.size()) *
+                            static_cast<count_t>(sizeof(EntryTriple)));
+      }
+    }
+  }
+
+  /// Block-cyclic right-looking partial Cholesky of the front.
+  void factorize(index_t s, LocalFront& front, int pr, int pc, int gr,
+                 int gc) {
+    const FrontBlocking& fb = front.blocking();
+    const int tag_diag = kTagStride * static_cast<int>(s) + kTagDiag;
+    const int tag_panel = kTagStride * static_cast<int>(s) + kTagPanel;
+
+    // Cache of remote panel blocks received this block-column.
+    std::map<index_t, std::vector<real_t>> remote;
+
+    for (index_t kb = 0; kb < fb.kp; ++kb) {
+      remote.clear();
+      const int kbc = static_cast<int>(kb) % pc;  // grid column of block kb
+      const int kbr = static_cast<int>(kb) % pr;
+      const index_t bk = fb.size(kb);
+      const bool ldlt = kind_ == FactorKind::kLdlt;
+      std::vector<real_t> diag_buf;
+      std::vector<real_t> dk;  // diag(D) of this block column (LDLᵀ only)
+      ConstMatrixView l_kk{};
+
+      if (gr == kbr && gc == kbc) {
+        // I own the diagonal block: factorize and send down the grid column.
+        // In LDLᵀ mode the broadcast payload carries diag(D) appended.
+        MatrixView dblk = front.block(kb, kb);
+        const index_t col0 = sym_.sn_start[s] + fb.start(kb);
+        index_t info;
+        if (ldlt) {
+          info = ldlt_lower(dblk,
+                            d_.subspan(static_cast<std::size_t>(col0),
+                                       static_cast<std::size_t>(bk)));
+          dk.assign(d_.begin() + col0, d_.begin() + col0 + bk);
+        } else {
+          info = potrf_lower(dblk);
+        }
+        PARFACT_CHECK_MSG(info == kNone,
+                          "bad pivot in front " << s << ", panel block "
+                                                << kb);
+        comm_.advance_compute(partial_cholesky_flops(bk, bk));
+        diag_buf.assign(dblk.data,
+                        dblk.data + static_cast<std::size_t>(bk) * bk);
+        if (ldlt) diag_buf.insert(diag_buf.end(), dk.begin(), dk.end());
+        for (int ri = 0; ri < pr; ++ri) {
+          if (ri == gr) continue;
+          if (!column_has_blocks_below(fb, kb, ri, pr)) continue;
+          comm_.send_vec(map_.grid_rank(s, ri, kbc), tag_diag, diag_buf);
+        }
+        l_kk = ConstMatrixView{diag_buf.data(), bk, bk, bk};
+      } else if (gc == kbc && column_has_blocks_below(fb, kb, gr, pr)) {
+        diag_buf = comm_.recv_vec<real_t>(map_.grid_rank(s, kbr, kbc),
+                                          tag_diag);
+        l_kk = ConstMatrixView{diag_buf.data(), bk, bk, bk};
+        if (ldlt) {
+          dk.assign(diag_buf.begin() + static_cast<std::size_t>(bk) * bk,
+                    diag_buf.end());
+        }
+      }
+
+      // TRSM my panel blocks below kb, then broadcast them along their grid
+      // row (A-side consumers) and grid column (B-side consumers).
+      if (gc == kbc) {
+        for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+          if (static_cast<int>(ib) % pr != gr) continue;
+          MatrixView blk = front.block(ib, kb);
+          trsm_right_lower_trans(l_kk, blk);
+          if (ldlt) {
+            // blk now holds M = A L⁻ᵀ = L·D; rescale to the stored L.
+            for (index_t k = 0; k < bk; ++k) {
+              const real_t inv = 1.0 / dk[k];
+              real_t* col = &blk.at(0, k);
+              for (index_t i = 0; i < blk.rows; ++i) col[i] *= inv;
+            }
+          }
+          comm_.advance_compute(static_cast<count_t>(blk.rows) * bk *
+                                (bk + 1));
+          std::vector<int> dests;
+          // A-side: ranks in grid row (ib % pr) owning (ib, jb), kb<jb<=ib.
+          for (int c = 0; c < pc; ++c) {
+            if (row_needs_block(kb, ib, c, pc)) {
+              dests.push_back(
+                  map_.grid_rank(s, static_cast<int>(ib) % pr, c));
+            }
+          }
+          // B-side: ranks in grid column (ib % pc) owning (ib2, ib),
+          // ib <= ib2 < nB.
+          for (int rrow = 0; rrow < pr; ++rrow) {
+            if (col_needs_block(fb, ib, rrow, pr)) {
+              dests.push_back(
+                  map_.grid_rank(s, rrow, static_cast<int>(ib) % pc));
+            }
+          }
+          std::sort(dests.begin(), dests.end());
+          dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+          std::vector<real_t> payload(
+              blk.data, blk.data + static_cast<std::size_t>(blk.rows) * bk);
+          if (ldlt) payload.insert(payload.end(), dk.begin(), dk.end());
+          for (int dst : dests) {
+            if (dst == comm_.rank()) continue;
+            comm_.send_vec(dst, tag_panel, payload);
+          }
+        }
+      }
+
+      // Determine which panel blocks I need for my trailing updates, fetch
+      // the remote ones (ascending block index per source keeps FIFO happy).
+      std::vector<index_t> needed;
+      for (index_t jb = kb + 1; jb < fb.nB; ++jb) {
+        if (static_cast<int>(jb) % pc != gc) continue;
+        for (index_t ib = jb; ib < fb.nB; ++ib) {
+          if (static_cast<int>(ib) % pr != gr) continue;
+          needed.push_back(ib);
+          needed.push_back(jb);
+        }
+      }
+      std::sort(needed.begin(), needed.end());
+      needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+      for (index_t x : needed) {
+        const int owner = block_owner(map_, s, x, kb);
+        if (owner == comm_.rank()) continue;
+        std::vector<real_t> payload = comm_.recv_vec<real_t>(owner, tag_panel);
+        if (ldlt) {
+          if (dk.empty()) {
+            dk.assign(payload.end() - bk, payload.end());
+          }
+          payload.resize(payload.size() - bk);
+        }
+        remote[x] = std::move(payload);
+      }
+      auto panel_block = [&](index_t x) -> ConstMatrixView {
+        if (block_owner(map_, s, x, kb) == comm_.rank()) {
+          return front.block(x, kb);
+        }
+        const auto it = remote.find(x);
+        PARFACT_DCHECK(it != remote.end());
+        return {it->second.data(), fb.size(x), bk, fb.size(x)};
+      };
+
+      // Trailing update: C(ib, jb) -= L(ib, kb) D L(jb, kb)ᵀ (D = I for
+      // Cholesky). In LDLᵀ mode the B-side operand is rescaled by D.
+      std::vector<real_t> scaled;
+      auto b_side = [&](index_t x) -> ConstMatrixView {
+        const ConstMatrixView l = panel_block(x);
+        if (!ldlt) return l;
+        scaled.resize(static_cast<std::size_t>(l.rows) * bk);
+        for (index_t k = 0; k < bk; ++k) {
+          const real_t dv = dk[k];
+          for (index_t i = 0; i < l.rows; ++i) {
+            scaled[static_cast<std::size_t>(k) * l.rows + i] =
+                l.at(i, k) * dv;
+          }
+        }
+        return {scaled.data(), l.rows, bk, l.rows};
+      };
+      for (index_t jb = kb + 1; jb < fb.nB; ++jb) {
+        if (static_cast<int>(jb) % pc != gc) continue;
+        for (index_t ib = jb; ib < fb.nB; ++ib) {
+          if (static_cast<int>(ib) % pr != gr) continue;
+          MatrixView c = front.block(ib, jb);
+          if (ib == jb && !ldlt) {
+            syrk_lower_update(c, panel_block(ib));
+          } else {
+            gemm_nt_update(c, panel_block(ib), b_side(jb));
+          }
+          comm_.advance_compute(2 * static_cast<count_t>(c.rows) * c.cols *
+                                bk);
+        }
+      }
+    }
+  }
+
+  /// True iff grid row `ri` owns any block (ib, kb) with ib > kb.
+  static bool column_has_blocks_below(const FrontBlocking& fb, index_t kb,
+                                      int ri, int pr) {
+    for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+      if (static_cast<int>(ib) % pr == ri) return true;
+    }
+    return false;
+  }
+  /// True iff rank at grid column c owns a block (ib, jb), kb < jb <= ib.
+  static bool row_needs_block(index_t kb, index_t ib, int c, int pc) {
+    for (index_t jb = kb + 1; jb <= ib; ++jb) {
+      if (static_cast<int>(jb) % pc == c) return true;
+    }
+    return false;
+  }
+  /// True iff grid row `rrow` owns a block (ib2, ib) with ib <= ib2 < nB.
+  static bool col_needs_block(const FrontBlocking& fb, index_t ib, int rrow,
+                              int pr) {
+    for (index_t ib2 = ib; ib2 < fb.nB; ++ib2) {
+      if (static_cast<int>(ib2) % pr == rrow) return true;
+    }
+    return false;
+  }
+
+  /// Copy owned panel blocks into the shared factor (disjoint writes).
+  void store_panel(index_t s, LocalFront& front) {
+    const FrontBlocking& fb = front.blocking();
+    MatrixView panel = factor_.panel(s);
+    count_t bytes = 0;
+    for (index_t jb = 0; jb < fb.kp; ++jb) {
+      for (index_t ib = jb; ib < fb.nB; ++ib) {
+        if (!front.owns(ib, jb)) continue;
+        const MatrixView blk = front.block(ib, jb);
+        const index_t r0 = fb.start(ib);
+        const index_t c0 = fb.start(jb);
+        for (index_t j = 0; j < blk.cols; ++j) {
+          const index_t i_begin = (ib == jb) ? j : 0;
+          for (index_t i = i_begin; i < blk.rows; ++i) {
+            panel.at(r0 + i, c0 + j) = blk.at(i, j);
+          }
+        }
+        bytes += static_cast<count_t>(blk.rows) * blk.cols *
+                 static_cast<count_t>(sizeof(real_t));
+      }
+    }
+    // Owned factor panels persist for the solve phase.
+    comm_.memory_add(bytes);
+    comm_.advance_bytes(bytes);
+  }
+
+  /// Pack the owned update-region entries by destination parent rank and
+  /// send one (possibly empty) message to every parent rank.
+  void send_update(index_t s, LocalFront& front) {
+    const index_t parent = sym_.sn_parent[s];
+    if (parent == kNone) return;
+    const FrontBlocking& fb = front.blocking();
+    const index_t p = sym_.sn_cols(s);
+    const auto my_rows = sym_.below_rows(s);
+
+    // Parent-front local index of one of our below rows.
+    const index_t pfirst = sym_.sn_start[parent];
+    const index_t pblock_end = sym_.sn_start[parent + 1];
+    const index_t pp = sym_.sn_cols(parent);
+    const auto prows = sym_.below_rows(parent);
+    const FrontBlocking pfb =
+        FrontBlocking::make(pp, sym_.sn_below(parent), map_.block_size);
+    auto parent_local = [&](index_t global_row) -> index_t {
+      if (global_row < pblock_end) return global_row - pfirst;
+      const auto it =
+          std::lower_bound(prows.begin(), prows.end(), global_row);
+      PARFACT_DCHECK(it != prows.end() && *it == global_row);
+      return pp + static_cast<index_t>(it - prows.begin());
+    };
+
+    const int pbegin = map_.rank_begin[parent];
+    const int pcount = map_.rank_count[parent];
+    std::vector<std::vector<EntryTriple>> outbox(
+        static_cast<std::size_t>(pcount));
+    for (index_t jb = fb.kp; jb < fb.nB; ++jb) {
+      for (index_t ib = jb; ib < fb.nB; ++ib) {
+        if (!front.owns(ib, jb)) continue;
+        const MatrixView blk = front.block(ib, jb);
+        const index_t r0 = fb.start(ib) - p;  // below-row index
+        const index_t c0 = fb.start(jb) - p;
+        for (index_t j = 0; j < blk.cols; ++j) {
+          const index_t pj = parent_local(my_rows[c0 + j]);
+          for (index_t i = (ib == jb) ? j : 0; i < blk.rows; ++i) {
+            const index_t pi = parent_local(my_rows[r0 + i]);
+            // The parent front stores lower storage in its own ordering;
+            // our (i, j) pair may map to either triangle there.
+            const index_t row = std::max(pi, pj);
+            const index_t col = std::min(pi, pj);
+            const int owner = block_owner(map_, parent, pfb.block_of(row),
+                                          pfb.block_of(col));
+            outbox[owner - pbegin].push_back(
+                EntryTriple{row, col, blk.at(i, j)});
+          }
+        }
+      }
+    }
+    const int tag = kTagStride * static_cast<int>(parent) + kTagExtendAdd;
+    for (int d = 0; d < pcount; ++d) {
+      comm_.send_vec(pbegin + d, tag, outbox[d]);
+    }
+  }
+
+  const SymbolicFactor& sym_;
+  const FrontMap& map_;
+  CholeskyFactor& factor_;
+  mpsim::Comm& comm_;
+  FactorKind kind_;
+  std::span<real_t> d_;  ///< shared diag(D) output in LDLᵀ mode
+  std::vector<std::vector<index_t>> children_;
+};
+
+}  // namespace
+
+DistFactorResult distributed_factor(const SymbolicFactor& sym,
+                                    const FrontMap& map,
+                                    const mpsim::MachineModel& model,
+                                    FactorKind kind) {
+  DistFactorResult result(sym);
+  std::span<real_t> d;
+  if (kind == FactorKind::kLdlt) d = result.factor.allocate_diag();
+  result.run = mpsim::run_spmd(map.n_ranks, model, [&](mpsim::Comm& comm) {
+    RankProgram program(sym, map, result.factor, comm, kind, d);
+    program.run();
+  });
+  return result;
+}
+
+}  // namespace parfact

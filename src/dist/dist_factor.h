@@ -1,0 +1,50 @@
+// Distributed-memory multifrontal Cholesky on the mpsim machine.
+//
+// SPMD structure (every rank runs the same program):
+//   for each supernode s in postorder that this rank participates in:
+//     1. allocate the locally owned blocks of the front (block-cyclic over
+//        the front's process grid),
+//     2. scatter this rank's share of the original matrix entries,
+//     3. receive extend-add contributions from every rank of every child,
+//     4. run the block-cyclic right-looking partial Cholesky:
+//        per panel block-column kb — diagonal POTRF at its owner, L_kk sent
+//        down the grid column, local TRSMs, panel blocks sent along their
+//        grid row (A-side) and grid column (B-side), local GEMM/SYRK trailing
+//        updates,
+//     5. store the owned panel blocks into the (shared, disjointly written)
+//        factor, pack the update region by destination parent rank and send.
+//
+// Communication cost is dominated by step 4: each panel block travels to
+// O(pr + pc) ranks, which for the 2-D grids is O(√np) — the paper's key
+// scaling property; with the 1-D layout (pc == 1, pr == np) the same code
+// degenerates to full-panel broadcasts with O(np) volume, giving the
+// MUMPS-class baseline for experiment T3/F5.
+#pragma once
+
+#include "dist/mapping.h"
+#include "mf/factor.h"
+#include "mf/multifrontal.h"
+#include "mpsim/machine.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+struct DistFactorResult {
+  /// Gathered factor (every rank deposits its panel blocks; the result is
+  /// identical in layout to the serial multifrontal factor).
+  CholeskyFactor factor;
+  /// Virtual-time and traffic statistics of the run.
+  mpsim::RunStats run;
+
+  DistFactorResult(const SymbolicFactor& sym) : factor(sym) {}
+};
+
+/// Runs the distributed factorization on map.n_ranks simulated ranks.
+/// Supports both Cholesky (SPD) and no-pivot LDLᵀ (symmetric
+/// quasi-definite); throws parfact::Error on a bad pivot.
+[[nodiscard]] DistFactorResult distributed_factor(
+    const SymbolicFactor& sym, const FrontMap& map,
+    const mpsim::MachineModel& model = {},
+    FactorKind kind = FactorKind::kCholesky);
+
+}  // namespace parfact

@@ -1,0 +1,378 @@
+#include "dist/dist_solve.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "dist/front_blocks.h"
+#include "support/error.h"
+
+namespace parfact {
+namespace {
+
+constexpr int kTagContrib = 3;     // child below-row contributions (forward)
+constexpr int kTagFwdPartial = 4;  // grid-row partial reductions (forward)
+constexpr int kTagFwdX = 5;        // solved panel segment broadcast (forward)
+constexpr int kTagBwdPartial = 6;
+constexpr int kTagBwdX = 7;
+constexpr int kTagStride = 8;      // must match dist_factor.cc
+
+struct SolveTriple {
+  index_t row;  // parent-front-local row
+  index_t rhs;  // right-hand-side column
+  real_t value;
+};
+
+/// True iff grid row `ri` owns any block (ib, kb) with ib > kb.
+bool grid_row_owns_below(const FrontBlocking& fb, index_t kb, int ri,
+                         int pr) {
+  for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+    if (static_cast<int>(ib) % pr == ri) return true;
+  }
+  return false;
+}
+
+class SolveProgram {
+ public:
+  SolveProgram(const SymbolicFactor& sym, const FrontMap& map,
+               const CholeskyFactor& factor, const std::vector<real_t>& b,
+               index_t nrhs, std::vector<real_t>& x_out, mpsim::Comm& comm)
+      : sym_(sym),
+        map_(map),
+        factor_(factor),
+        b_(b),
+        nrhs_(nrhs),
+        x_out_(x_out),
+        comm_(comm) {
+    children_.resize(static_cast<std::size_t>(sym.n_supernodes));
+    for (index_t s = 0; s < sym.n_supernodes; ++s) {
+      if (sym.sn_parent[s] != kNone) {
+        children_[sym.sn_parent[s]].push_back(s);
+      }
+    }
+    x_known_.assign(static_cast<std::size_t>(sym.n) * nrhs, 0.0);
+  }
+
+  void run() {
+    for (index_t s = 0; s < sym_.n_supernodes; ++s) {
+      if (map_.participates(s, comm_.rank())) forward_front(s);
+    }
+    for (index_t s = sym_.n_supernodes - 1; s >= 0; --s) {
+      if (map_.participates(s, comm_.rank())) backward_front(s);
+    }
+  }
+
+ private:
+  /// Factor block (ib, jb), jb < kp, of front s.
+  [[nodiscard]] ConstMatrixView l_block(index_t s, const FrontBlocking& fb,
+                                        index_t ib, index_t jb) const {
+    return ConstMatrixView{factor_.panel(s)}.block(
+        fb.start(ib), fb.start(jb), fb.size(ib), fb.size(jb));
+  }
+
+  [[nodiscard]] MatrixView buf_view(std::vector<real_t>& v, index_t rows) {
+    return {v.data(), rows, nrhs_, rows};
+  }
+
+  void forward_front(index_t s) {
+    const FrontBlocking fb = FrontBlocking::make(
+        sym_.sn_cols(s), sym_.sn_below(s), map_.block_size);
+    const int pr = map_.grid_rows[s];
+    const int pc = map_.grid_cols[s];
+    // Spectators (gr == gc == -1) hold no partials; all guards below skip.
+    const auto [gr, gc] = map_.grid_coords(s, comm_.rank());
+    const index_t first = sym_.sn_start[s];
+    const auto rows = sym_.below_rows(s);
+
+    // Per-block-row accumulators: rhs additions from children (diag owners
+    // and collectors) plus -L(ib,kb)·x_kb partials.
+    std::map<index_t, std::vector<real_t>> part;
+    auto part_of = [&](index_t ib) -> std::vector<real_t>& {
+      auto& v = part[ib];
+      if (v.empty()) v.assign(static_cast<std::size_t>(fb.size(ib)) * nrhs_, 0.0);
+      return v;
+    };
+
+    // 1. Child contributions (one message from every rank of every child).
+    for (index_t c : children_[s]) {
+      for (int src = map_.rank_begin[c];
+           src < map_.rank_begin[c] + map_.rank_count[c]; ++src) {
+        const auto triples = comm_.recv_vec<SolveTriple>(
+            src, kTagStride * static_cast<int>(s) + kTagContrib);
+        for (const SolveTriple& t : triples) {
+          const index_t ib = fb.block_of(t.row);
+          part_of(ib)[static_cast<std::size_t>(t.rhs) * fb.size(ib) +
+                      (t.row - fb.start(ib))] += t.value;
+        }
+        comm_.advance_bytes(static_cast<count_t>(triples.size()) *
+                            static_cast<count_t>(sizeof(SolveTriple)));
+      }
+    }
+
+    // 2. Panel sweep.
+    for (index_t kb = 0; kb < fb.kp; ++kb) {
+      const int kbr = static_cast<int>(kb) % pr;
+      const int kbc = static_cast<int>(kb) % pc;
+      const index_t bk = fb.size(kb);
+      const int diag_rank = map_.grid_rank(s, kbr, kbc);
+      const int max_sender_col =
+          std::min<int>(pc, static_cast<int>(std::min(kb, fb.kp)));
+
+      if (gr == kbr && gc != kbc && gc < max_sender_col) {
+        comm_.send_vec(diag_rank,
+                       kTagStride * static_cast<int>(s) + kTagFwdPartial,
+                       part_of(kb));
+      }
+      std::vector<real_t> xkb;
+      if (comm_.rank() == diag_rank) {
+        xkb = part_of(kb);
+        // Add the replicated right-hand side rows.
+        for (index_t r = 0; r < nrhs_; ++r) {
+          for (index_t i = 0; i < bk; ++i) {
+            xkb[static_cast<std::size_t>(r) * bk + i] +=
+                b_[static_cast<std::size_t>(r) * sym_.n + first +
+                   fb.start(kb) + i];
+          }
+        }
+        for (int c = 0; c < max_sender_col; ++c) {
+          if (c == kbc) continue;
+          const auto partial = comm_.recv_vec<real_t>(
+              map_.grid_rank(s, kbr, c),
+              kTagStride * static_cast<int>(s) + kTagFwdPartial);
+          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += partial[i];
+        }
+        trsm_left_lower(l_block(s, fb, kb, kb), buf_view(xkb, bk));
+        comm_.advance_compute(static_cast<count_t>(bk) * bk * nrhs_);
+        y_fwd_[{s, kb}] = xkb;
+        for (int ri = 0; ri < pr; ++ri) {
+          if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
+          comm_.send_vec(map_.grid_rank(s, ri, kbc),
+                         kTagStride * static_cast<int>(s) + kTagFwdX, xkb);
+        }
+      } else if (gc == kbc && grid_row_owns_below(fb, kb, gr, pr)) {
+        xkb = comm_.recv_vec<real_t>(
+            diag_rank, kTagStride * static_cast<int>(s) + kTagFwdX);
+      }
+
+      if (gc == kbc && !xkb.empty()) {
+        for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+          if (static_cast<int>(ib) % pr != gr) continue;
+          auto& acc = part_of(ib);
+          gemm_nn_update(buf_view(acc, fb.size(ib)), l_block(s, fb, ib, kb),
+                         ConstMatrixView{xkb.data(), bk, nrhs_, bk});
+          comm_.advance_compute(2 * static_cast<count_t>(fb.size(ib)) * bk *
+                                nrhs_);
+        }
+      }
+    }
+
+    // 3. Reduce below-row partials to per-block-row collectors and route
+    // them to the parent as (parent-local row, rhs, value) triples.
+    const index_t parent = sym_.sn_parent[s];
+    std::vector<std::vector<SolveTriple>> outbox;
+    int pbegin = 0, pcount = 0;
+    if (parent != kNone) {
+      pbegin = map_.rank_begin[parent];
+      pcount = map_.rank_count[parent];
+      outbox.resize(static_cast<std::size_t>(pcount));
+    }
+    const int max_collector_col = std::min<int>(pc, static_cast<int>(fb.kp));
+    for (index_t ib = fb.kp; ib < fb.nB; ++ib) {
+      const int ibr = static_cast<int>(ib) % pr;
+      const int collector = map_.grid_rank(s, ibr, 0);
+      if (gr == ibr && gc != 0 && gc < max_collector_col) {
+        comm_.send_vec(collector,
+                       kTagStride * static_cast<int>(s) + kTagFwdPartial,
+                       part_of(ib));
+      }
+      if (comm_.rank() != collector) continue;
+      auto total = part_of(ib);
+      for (int c = 1; c < max_collector_col; ++c) {
+        const auto partial = comm_.recv_vec<real_t>(
+            map_.grid_rank(s, ibr, c),
+            kTagStride * static_cast<int>(s) + kTagFwdPartial);
+        for (std::size_t i = 0; i < total.size(); ++i) total[i] += partial[i];
+      }
+      if (parent == kNone) continue;
+      // Route each row to the parent rank that consumes it.
+      const FrontBlocking pfb = FrontBlocking::make(
+          sym_.sn_cols(parent), sym_.sn_below(parent), map_.block_size);
+      const index_t pfirst = sym_.sn_start[parent];
+      const index_t pblock_end = sym_.sn_start[parent + 1];
+      const auto prows = sym_.below_rows(parent);
+      for (index_t i = 0; i < fb.size(ib); ++i) {
+        const index_t grow = rows[fb.start(ib) - fb.p + i];
+        index_t lr;
+        if (grow < pblock_end) {
+          lr = grow - pfirst;
+        } else {
+          const auto it = std::lower_bound(prows.begin(), prows.end(), grow);
+          PARFACT_DCHECK(it != prows.end() && *it == grow);
+          lr = pfb.p + static_cast<index_t>(it - prows.begin());
+        }
+        const index_t pib = pfb.block_of(lr);
+        const int dest =
+            lr < pfb.p
+                ? map_.grid_rank(parent, static_cast<int>(pib) %
+                                             map_.grid_rows[parent],
+                                 static_cast<int>(pib) %
+                                     map_.grid_cols[parent])
+                : map_.grid_rank(parent,
+                                 static_cast<int>(pib) %
+                                     map_.grid_rows[parent],
+                                 0);
+        for (index_t r = 0; r < nrhs_; ++r) {
+          const real_t v = total[static_cast<std::size_t>(r) * fb.size(ib) + i];
+          if (v != 0.0) {
+            outbox[dest - pbegin].push_back(SolveTriple{lr, r, v});
+          }
+        }
+      }
+    }
+    if (parent != kNone) {
+      const int tag = kTagStride * static_cast<int>(parent) + kTagContrib;
+      for (int d = 0; d < pcount; ++d) {
+        comm_.send_vec(pbegin + d, tag, outbox[d]);
+      }
+    }
+  }
+
+  void backward_front(index_t s) {
+    const FrontBlocking fb = FrontBlocking::make(
+        sym_.sn_cols(s), sym_.sn_below(s), map_.block_size);
+    const int pr = map_.grid_rows[s];
+    const int pc = map_.grid_cols[s];
+    const auto [gr, gc] = map_.grid_coords(s, comm_.rank());
+    const index_t first = sym_.sn_start[s];
+    const auto rows = sym_.below_rows(s);
+    const int np = map_.rank_count[s];
+
+    // x at front row `fr` (panel rows from this front's sweep so far, below
+    // rows from ancestors — all already in x_known_ by the invariant).
+    auto x_at = [&](index_t fr, index_t r) -> real_t {
+      const index_t grow = fr < fb.p ? first + fr : rows[fr - fb.p];
+      return x_known_[static_cast<std::size_t>(r) * sym_.n + grow];
+    };
+
+    for (index_t kb = fb.kp - 1; kb >= 0; --kb) {
+      const int kbr = static_cast<int>(kb) % pr;
+      const int kbc = static_cast<int>(kb) % pc;
+      const index_t bk = fb.size(kb);
+      const int diag_rank = map_.grid_rank(s, kbr, kbc);
+
+      std::vector<real_t> partial;
+      if (gc == kbc && grid_row_owns_below(fb, kb, gr, pr)) {
+        partial.assign(static_cast<std::size_t>(bk) * nrhs_, 0.0);
+        std::vector<real_t> xi;
+        for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+          if (static_cast<int>(ib) % pr != gr) continue;
+          const index_t bi = fb.size(ib);
+          xi.resize(static_cast<std::size_t>(bi) * nrhs_);
+          for (index_t r = 0; r < nrhs_; ++r) {
+            for (index_t i = 0; i < bi; ++i) {
+              xi[static_cast<std::size_t>(r) * bi + i] =
+                  x_at(fb.start(ib) + i, r);
+            }
+          }
+          gemm_tn_update(buf_view(partial, bk), l_block(s, fb, ib, kb),
+                         ConstMatrixView{xi.data(), bi, nrhs_, bi});
+          comm_.advance_compute(2 * static_cast<count_t>(bi) * bk * nrhs_);
+        }
+        if (comm_.rank() != diag_rank) {
+          comm_.send_vec(diag_rank,
+                         kTagStride * static_cast<int>(s) + kTagBwdPartial,
+                         partial);
+        }
+      }
+
+      std::vector<real_t> xkb;
+      if (comm_.rank() == diag_rank) {
+        const auto it = y_fwd_.find({s, kb});
+        PARFACT_DCHECK(it != y_fwd_.end());
+        xkb = it->second;
+        if (factor_.is_ldlt()) {
+          // x = L⁻ᵀ D⁻¹ (L⁻¹ b): apply the diagonal solve as the backward
+          // sweep picks each forward segment up.
+          const auto dd = factor_.diag();
+          for (index_t r = 0; r < nrhs_; ++r) {
+            for (index_t i = 0; i < bk; ++i) {
+              xkb[static_cast<std::size_t>(r) * bk + i] /=
+                  dd[first + fb.start(kb) + i];
+            }
+          }
+        }
+        if (!partial.empty()) {
+          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += partial[i];
+        }
+        for (int ri = 0; ri < pr; ++ri) {
+          if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
+          const auto rp = comm_.recv_vec<real_t>(
+              map_.grid_rank(s, ri, kbc),
+              kTagStride * static_cast<int>(s) + kTagBwdPartial);
+          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += rp[i];
+        }
+        trsm_left_lower_trans(l_block(s, fb, kb, kb), buf_view(xkb, bk));
+        comm_.advance_compute(static_cast<count_t>(bk) * bk * nrhs_);
+        // Broadcast to every other participant: they need it for their own
+        // in-panel partials and to serve the invariant for child fronts.
+        for (int other = map_.rank_begin[s]; other < map_.rank_begin[s] + np;
+             ++other) {
+          if (other == comm_.rank()) continue;
+          comm_.send_vec(other,
+                         kTagStride * static_cast<int>(s) + kTagBwdX, xkb);
+        }
+        // Final answer rows: the diagonal owner writes them (disjointly).
+        for (index_t r = 0; r < nrhs_; ++r) {
+          for (index_t i = 0; i < bk; ++i) {
+            x_out_[static_cast<std::size_t>(r) * sym_.n + first +
+                   fb.start(kb) + i] =
+                xkb[static_cast<std::size_t>(r) * bk + i];
+          }
+        }
+      } else {
+        xkb = comm_.recv_vec<real_t>(
+            diag_rank, kTagStride * static_cast<int>(s) + kTagBwdX);
+      }
+      // Everyone records the solved segment for later fronts/children.
+      for (index_t r = 0; r < nrhs_; ++r) {
+        for (index_t i = 0; i < bk; ++i) {
+          x_known_[static_cast<std::size_t>(r) * sym_.n + first +
+                   fb.start(kb) + i] =
+              xkb[static_cast<std::size_t>(r) * bk + i];
+        }
+      }
+    }
+  }
+
+  const SymbolicFactor& sym_;
+  const FrontMap& map_;
+  const CholeskyFactor& factor_;
+  const std::vector<real_t>& b_;
+  const index_t nrhs_;
+  std::vector<real_t>& x_out_;
+  mpsim::Comm& comm_;
+  std::vector<std::vector<index_t>> children_;
+  std::vector<real_t> x_known_;
+  std::map<std::pair<index_t, index_t>, std::vector<real_t>> y_fwd_;
+};
+
+}  // namespace
+
+DistSolveResult distributed_solve(const SymbolicFactor& sym,
+                                  const FrontMap& map,
+                                  const CholeskyFactor& factor,
+                                  const std::vector<real_t>& b, index_t nrhs,
+                                  const mpsim::MachineModel& model) {
+  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
+                static_cast<count_t>(sym.n) * nrhs);
+  DistSolveResult result;
+  result.x.assign(b.size(), 0.0);
+  result.run = mpsim::run_spmd(map.n_ranks, model, [&](mpsim::Comm& comm) {
+    SolveProgram program(sym, map, factor, b, nrhs, result.x, comm);
+    program.run();
+  });
+  return result;
+}
+
+}  // namespace parfact

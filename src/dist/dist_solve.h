@@ -1,0 +1,39 @@
+// Distributed supernodal triangular solves on the mpsim machine.
+//
+// Forward sweep (postorder): for each front, the diagonal-block owners solve
+// their panel rows (after reducing partial sums along their grid row),
+// broadcast the solved segment down the grid column, owners of the L21
+// blocks accumulate update partials, and the below-row contributions are
+// reduced to one collector per block row and routed up to the parent's
+// owners — the solve-phase analogue of extend-add.
+//
+// Backward sweep (reverse postorder): maintains the invariant that every
+// participant of a front knows the solution at the front's below rows when
+// the front is processed (parents broadcast panel solutions to all their
+// participants, and child rank sets nest inside parent rank sets, so the
+// values are already local — zero extra messages to enter a child).
+#pragma once
+
+#include <vector>
+
+#include "dist/mapping.h"
+#include "mf/factor.h"
+#include "mpsim/machine.h"
+
+namespace parfact {
+
+struct DistSolveResult {
+  /// Solution, n x nrhs column-major (postordered index space).
+  std::vector<real_t> x;
+  mpsim::RunStats run;
+};
+
+/// Solves A x = b with the distributed factor layout described by `map`.
+/// `factor` is the gathered factor from distributed_factor (each rank reads
+/// only the blocks it owns under `map`); `b` is n x nrhs, replicated.
+[[nodiscard]] DistSolveResult distributed_solve(
+    const SymbolicFactor& sym, const FrontMap& map,
+    const CholeskyFactor& factor, const std::vector<real_t>& b, index_t nrhs,
+    const mpsim::MachineModel& model = {});
+
+}  // namespace parfact

@@ -1,0 +1,83 @@
+// Subtree-to-subcube (proportional) mapping of the assembly tree onto ranks,
+// and the per-front process-grid layout.
+//
+// This encodes the paper's central parallelization idea: disjoint subtrees of
+// the assembly tree execute on disjoint rank subsets with *zero*
+// communication between them; toward the root, each front is distributed
+// over its (growing) rank subset — 1-D row-block-cyclic for the MUMPS-class
+// baseline, 2-D block-cyclic for the scalable scheme. The 2-D layout is what
+// keeps per-rank communication volume O(front²/√p) instead of O(front²),
+// which is the crossover every scaling experiment probes.
+#pragma once
+
+#include <vector>
+
+#include "support/types.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+enum class MappingStrategy {
+  kSubtree2d,  ///< subtree-to-subcube + 2-D block-cyclic fronts (the paper)
+  kSubtree1d,  ///< subtree-to-subcube + 1-D row-block fronts (MUMPS-class)
+  kFlat,       ///< every front over all ranks (ablation: no tree locality)
+};
+
+/// Where and how each front lives.
+struct FrontMap {
+  int n_ranks = 1;
+  index_t block_size = 48;         ///< block-cyclic tile edge
+  MappingStrategy strategy = MappingStrategy::kSubtree2d;
+  std::vector<int> rank_begin;     ///< first rank of each supernode's range
+  std::vector<int> rank_count;     ///< range size
+  std::vector<int> grid_rows;      ///< pr of the front's process grid
+  std::vector<int> grid_cols;      ///< pc (pr * pc <= rank_count)
+
+  [[nodiscard]] bool participates(index_t s, int rank) const {
+    return rank >= rank_begin[s] && rank < rank_begin[s] + rank_count[s];
+  }
+  /// Ranks actually holding blocks of front s: the first grid_size ranks of
+  /// the participant prefix. Participants beyond it are *spectators* — they
+  /// stay in the set so that child participant prefixes keep nesting (a
+  /// child may use more ranks than an awkwardly-sized parent grid), but own
+  /// no blocks of this front.
+  [[nodiscard]] int grid_size(index_t s) const {
+    return grid_rows[s] * grid_cols[s];
+  }
+  /// Grid coordinates of `rank` within front s's grid (row-major over the
+  /// contiguous rank range), or {-1, -1} for spectators. Requires
+  /// participates(s, rank).
+  [[nodiscard]] std::pair<int, int> grid_coords(index_t s, int rank) const {
+    const int local = rank - rank_begin[s];
+    if (local >= grid_size(s)) return {-1, -1};
+    return {local % grid_rows[s], local / grid_rows[s]};
+  }
+  /// Rank owning grid cell (gr, gc) of front s.
+  [[nodiscard]] int grid_rank(index_t s, int gr, int gc) const {
+    return rank_begin[s] + gc * grid_rows[s] + gr;
+  }
+
+  /// Validates range nesting (children inside parents) and grid shapes.
+  void validate(const SymbolicFactor& sym) const;
+};
+
+/// Builds the mapping. Work estimates come from sym.sn_flops; subtree ranges
+/// are split among children proportionally to subtree work.
+///
+/// `grain_flops` caps the ranks a front may use: a front of W flops gets at
+/// most ceil(W / grain_flops) ranks (never fewer than any child uses, so
+/// participant sets still nest). Without the cap, the long chains of small
+/// separator supernodes near the root would each pay O(P) per-front
+/// communication latency for negligible work — the classic reason parallel
+/// multifrontal codes bound processes-per-front by front size.
+[[nodiscard]] FrontMap build_front_map(const SymbolicFactor& sym, int n_ranks,
+                                       MappingStrategy strategy,
+                                       index_t block_size = 48,
+                                       double grain_flops = 2.0e5);
+
+/// Per-rank total assigned front work (flops of fronts it participates in,
+/// divided by the range size) — the load-balance metric of experiment F5.
+[[nodiscard]] std::vector<double> mapped_work_per_rank(
+    const SymbolicFactor& sym, const FrontMap& map);
+
+}  // namespace parfact

@@ -1,0 +1,53 @@
+// Undirected adjacency graph in CSR form.
+//
+// This is the structure the ordering code (nested dissection, minimum degree,
+// RCM) operates on. Invariants: symmetric (every edge stored in both
+// endpoints' lists), no self-loops, neighbor lists sorted. Vertex and edge
+// weights carry coarsening multiplicities in the multilevel partitioner.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+struct Graph {
+  index_t n = 0;
+  std::vector<index_t> adj_ptr;  ///< size n+1
+  std::vector<index_t> adj;      ///< concatenated sorted neighbor lists
+  std::vector<index_t> vwgt;     ///< vertex weights, size n
+  std::vector<index_t> ewgt;     ///< edge weights, parallel to adj
+
+  [[nodiscard]] index_t degree(index_t v) const {
+    return adj_ptr[v + 1] - adj_ptr[v];
+  }
+  [[nodiscard]] std::span<const index_t> neighbors(index_t v) const {
+    return {adj.data() + adj_ptr[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+  [[nodiscard]] count_t total_vertex_weight() const;
+  [[nodiscard]] index_t edge_count() const {  // undirected edges
+    return static_cast<index_t>(adj.size() / 2);
+  }
+
+  /// Throws on any violated invariant.
+  void validate() const;
+};
+
+/// Builds the adjacency graph of a symmetric sparse matrix pattern. Accepts
+/// lower-triangle-stored or full-stored input; the diagonal is ignored.
+/// All vertex and edge weights are 1.
+[[nodiscard]] Graph graph_from_pattern(const SparseMatrix& a);
+
+/// Extracts the vertex-induced subgraph on `vertices` (which must be
+/// duplicate-free). `local_of` scratch must be of size g.n, filled with kNone,
+/// and is restored to kNone on return. The i-th subgraph vertex corresponds
+/// to vertices[i].
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     std::span<const index_t> vertices,
+                                     std::vector<index_t>& local_of);
+
+}  // namespace parfact

@@ -1,0 +1,312 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "graph/traversal.h"
+#include "support/error.h"
+
+namespace parfact {
+
+void recompute_bisection_stats(const Graph& g, Bisection* b) {
+  PARFACT_CHECK(b->side.size() == static_cast<std::size_t>(g.n));
+  b->cut = 0;
+  b->side_weight[0] = b->side_weight[1] = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    PARFACT_CHECK(b->side[v] == 0 || b->side[v] == 1);
+    b->side_weight[b->side[v]] += g.vwgt[v];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      if (g.adj[p] > v && b->side[g.adj[p]] != b->side[v]) {
+        b->cut += g.ewgt[p];
+      }
+    }
+  }
+}
+
+Bisection greedy_grow_bisection(const Graph& g, Prng& rng) {
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(g.n), 1);
+  const count_t total = g.total_vertex_weight();
+  const count_t target = total / 2;
+
+  // Grow side 0 as a BFS region from a pseudo-peripheral vertex, preferring
+  // frontier vertices with many neighbors already inside (reduces the cut).
+  const index_t seed =
+      g.n > 0 ? pseudo_peripheral_vertex(g, rng.next_index(g.n)) : 0;
+  count_t grown = 0;
+  std::vector<index_t> inside_links(static_cast<std::size_t>(g.n), 0);
+  // Priority queue keyed by inside-link weight; lazily invalidated.
+  std::priority_queue<std::pair<index_t, index_t>> frontier;
+  std::vector<char> queued(static_cast<std::size_t>(g.n), 0);
+  index_t component_seed = seed;
+  while (grown < target) {
+    if (frontier.empty()) {
+      // Start (or continue into a new component) from an unassigned vertex.
+      index_t s = kNone;
+      for (index_t v = component_seed; v < g.n; ++v) {
+        if (b.side[v] == 1 && !queued[v]) {
+          s = v;
+          break;
+        }
+      }
+      if (s == kNone) break;
+      component_seed = s;
+      frontier.emplace(0, s);
+      queued[s] = 1;
+      continue;
+    }
+    const auto [links, v] = frontier.top();
+    frontier.pop();
+    if (b.side[v] == 0) continue;              // already taken
+    if (links != inside_links[v]) continue;    // stale entry
+    b.side[v] = 0;
+    grown += g.vwgt[v];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (b.side[u] == 1) {
+        inside_links[u] += g.ewgt[p];
+        frontier.emplace(inside_links[u], u);
+        queued[u] = 1;
+      }
+    }
+  }
+  recompute_bisection_stats(g, &b);
+  return b;
+}
+
+namespace {
+
+/// Gain of moving v to the other side: (cut removed) - (cut added).
+count_t move_gain(const Graph& g, const Bisection& b, index_t v) {
+  count_t gain = 0;
+  for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+    gain += (b.side[g.adj[p]] != b.side[v]) ? g.ewgt[p] : -g.ewgt[p];
+  }
+  return gain;
+}
+
+}  // namespace
+
+void fm_refine(const Graph& g, const PartitionOptions& opts, Bisection* b) {
+  const count_t total = b->side_weight[0] + b->side_weight[1];
+  const auto max_side = static_cast<count_t>(
+      (1.0 + opts.balance_tol) / 2.0 * static_cast<double>(total));
+
+  std::vector<char> locked(static_cast<std::size_t>(g.n));
+  std::vector<count_t> gain(static_cast<std::size_t>(g.n));
+
+  for (int pass = 0; pass < opts.fm_passes; ++pass) {
+    std::fill(locked.begin(), locked.end(), 0);
+    // Lazy max-heap of (gain, vertex); stale entries skipped on pop.
+    std::priority_queue<std::pair<count_t, index_t>> heap;
+    for (index_t v = 0; v < g.n; ++v) {
+      gain[v] = move_gain(g, *b, v);
+      // Seed with boundary vertices only; interior vertices enter the heap
+      // when a neighbor moves.
+      bool boundary = false;
+      for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1] && !boundary; ++p) {
+        boundary = b->side[g.adj[p]] != b->side[v];
+      }
+      if (boundary) heap.emplace(gain[v], v);
+    }
+
+    count_t best_improvement = 0;
+    count_t improvement = 0;
+    std::vector<index_t> moved;  // in order, to allow rollback past the best
+    std::size_t best_prefix = 0;
+
+    while (!heap.empty()) {
+      const auto [gv, v] = heap.top();
+      heap.pop();
+      if (locked[v] || gv != gain[v]) continue;
+      const int from = b->side[v];
+      const int to = 1 - from;
+      if (b->side_weight[to] + g.vwgt[v] > max_side) continue;
+      // Tentatively move v.
+      locked[v] = 1;
+      b->side[v] = static_cast<signed char>(to);
+      b->side_weight[from] -= g.vwgt[v];
+      b->side_weight[to] += g.vwgt[v];
+      improvement += gv;
+      moved.push_back(v);
+      if (improvement > best_improvement) {
+        best_improvement = improvement;
+        best_prefix = moved.size();
+      }
+      for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+        const index_t u = g.adj[p];
+        if (locked[u]) continue;
+        gain[u] = move_gain(g, *b, u);
+        heap.emplace(gain[u], u);
+      }
+      // Bail out of clearly unprofitable passes.
+      if (moved.size() > best_prefix + 200 && improvement < best_improvement) {
+        break;
+      }
+    }
+
+    // Roll back moves past the best prefix.
+    for (std::size_t k = moved.size(); k > best_prefix; --k) {
+      const index_t v = moved[k - 1];
+      const int cur = b->side[v];
+      b->side[v] = static_cast<signed char>(1 - cur);
+      b->side_weight[cur] -= g.vwgt[v];
+      b->side_weight[1 - cur] += g.vwgt[v];
+    }
+    b->cut -= best_improvement;
+    if (best_improvement == 0) break;
+  }
+  PARFACT_DCHECK([&] {
+    Bisection check = *b;
+    recompute_bisection_stats(g, &check);
+    return check.cut == b->cut;
+  }());
+}
+
+Graph coarsen(const Graph& g, Prng& rng, std::vector<index_t>* cmap) {
+  cmap->assign(static_cast<std::size_t>(g.n), kNone);
+  std::vector<index_t> order(static_cast<std::size_t>(g.n));
+  std::iota(order.begin(), order.end(), 0);
+  // Random visit order decorrelates matchings across attempts.
+  for (index_t i = g.n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.next_index(i + 1)]);
+  }
+
+  index_t n_coarse = 0;
+  for (index_t v : order) {
+    if ((*cmap)[v] != kNone) continue;
+    // Heavy-edge: match with the unmatched neighbor of max edge weight.
+    index_t best = kNone;
+    index_t best_w = -1;
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if ((*cmap)[u] == kNone && g.ewgt[p] > best_w) {
+        best = u;
+        best_w = g.ewgt[p];
+      }
+    }
+    (*cmap)[v] = n_coarse;
+    if (best != kNone) (*cmap)[best] = n_coarse;
+    ++n_coarse;
+  }
+
+  Graph c;
+  c.n = n_coarse;
+  c.vwgt.assign(static_cast<std::size_t>(n_coarse), 0);
+  for (index_t v = 0; v < g.n; ++v) c.vwgt[(*cmap)[v]] += g.vwgt[v];
+
+  // Build coarse adjacency: union of mapped edges with summed weights.
+  std::vector<std::pair<index_t, std::pair<index_t, index_t>>> edges;
+  for (index_t v = 0; v < g.n; ++v) {
+    const index_t cv = (*cmap)[v];
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t cu = (*cmap)[g.adj[p]];
+      if (cu != cv) edges.push_back({cv, {cu, g.ewgt[p]}});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.first, a.second.first) <
+                     std::tie(b.first, b.second.first);
+            });
+  c.adj_ptr.assign(static_cast<std::size_t>(n_coarse) + 1, 0);
+  for (std::size_t k = 0; k < edges.size();) {
+    const index_t cv = edges[k].first;
+    const index_t cu = edges[k].second.first;
+    index_t w = 0;
+    while (k < edges.size() && edges[k].first == cv &&
+           edges[k].second.first == cu) {
+      w += edges[k].second.second;
+      ++k;
+    }
+    c.adj.push_back(cu);
+    c.ewgt.push_back(w);
+    ++c.adj_ptr[cv + 1];
+  }
+  for (index_t v = 0; v < n_coarse; ++v) c.adj_ptr[v + 1] += c.adj_ptr[v];
+  return c;
+}
+
+Bisection multilevel_bisection(const Graph& g, const PartitionOptions& opts,
+                               Prng& rng) {
+  PARFACT_CHECK(g.n >= 2);
+  Bisection best;
+  for (int attempt = 0; attempt < std::max(1, opts.attempts); ++attempt) {
+    // Coarsening phase.
+    std::vector<Graph> levels;
+    std::vector<std::vector<index_t>> maps;
+    levels.push_back(g);
+    while (levels.back().n > opts.coarse_target) {
+      std::vector<index_t> cmap;
+      Graph c = coarsen(levels.back(), rng, &cmap);
+      if (c.n >= levels.back().n * 95 / 100) break;  // matching stalled
+      maps.push_back(std::move(cmap));
+      levels.push_back(std::move(c));
+    }
+
+    // Initial bisection at the coarsest level.
+    Bisection b = greedy_grow_bisection(levels.back(), rng);
+    fm_refine(levels.back(), opts, &b);
+
+    // Uncoarsening with refinement.
+    for (std::size_t l = maps.size(); l > 0; --l) {
+      const Graph& fine = levels[l - 1];
+      Bisection fb;
+      fb.side.resize(static_cast<std::size_t>(fine.n));
+      for (index_t v = 0; v < fine.n; ++v) fb.side[v] = b.side[maps[l - 1][v]];
+      recompute_bisection_stats(fine, &fb);
+      fm_refine(fine, opts, &fb);
+      b = std::move(fb);
+    }
+
+    if (attempt == 0 || b.cut < best.cut) best = std::move(b);
+  }
+  return best;
+}
+
+std::vector<index_t> vertex_separator(const Graph& g, Bisection* b) {
+  // Greedy vertex cover of the cut edges: repeatedly take the endpoint
+  // covering the most uncovered cut edges. Ties prefer the heavier side to
+  // keep parts balanced.
+  std::vector<index_t> cover_degree(static_cast<std::size_t>(g.n), 0);
+  count_t cut_edges = 0;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (u > v && b->side[u] != b->side[v]) {
+        ++cover_degree[v];
+        ++cover_degree[u];
+        ++cut_edges;
+      }
+    }
+  }
+  std::priority_queue<std::pair<index_t, index_t>> heap;
+  for (index_t v = 0; v < g.n; ++v) {
+    if (cover_degree[v] > 0) heap.emplace(cover_degree[v], v);
+  }
+  std::vector<index_t> separator;
+  while (cut_edges > 0) {
+    PARFACT_CHECK(!heap.empty());
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (b->side[v] == 2 || deg != cover_degree[v]) continue;
+    separator.push_back(v);
+    // Removing v covers all its remaining cut edges.
+    for (index_t p = g.adj_ptr[v]; p < g.adj_ptr[v + 1]; ++p) {
+      const index_t u = g.adj[p];
+      if (b->side[u] != 2 && b->side[u] != b->side[v]) {
+        --cut_edges;
+        --cover_degree[u];
+        if (cover_degree[u] > 0) heap.emplace(cover_degree[u], u);
+      }
+    }
+    cover_degree[v] = 0;
+    b->side[v] = 2;
+  }
+  return separator;
+}
+
+}  // namespace parfact

@@ -1,0 +1,49 @@
+// Reverse Cuthill–McKee ordering (bandwidth reduction baseline).
+#include <algorithm>
+
+#include "graph/ordering.h"
+#include "graph/traversal.h"
+#include "support/error.h"
+
+namespace parfact {
+
+std::vector<index_t> rcm(const Graph& g) {
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(g.n));
+  std::vector<char> visited(static_cast<std::size_t>(g.n), 0);
+  std::vector<index_t> frontier;
+
+  for (index_t start = 0; start < g.n; ++start) {
+    if (visited[start]) continue;
+    const index_t root = pseudo_peripheral_vertex(g, start);
+    // Cuthill–McKee BFS: within each level, visit neighbors in increasing
+    // degree order.
+    visited[root] = 1;
+    order.push_back(root);
+    std::size_t level_begin = order.size() - 1;
+    while (level_begin < order.size()) {
+      const std::size_t level_end = order.size();
+      for (std::size_t k = level_begin; k < level_end; ++k) {
+        frontier.clear();
+        for (index_t u : g.neighbors(order[k])) {
+          if (!visited[u]) {
+            visited[u] = 1;
+            frontier.push_back(u);
+          }
+        }
+        std::sort(frontier.begin(), frontier.end(),
+                  [&g](index_t a, index_t b) {
+                    return std::pair(g.degree(a), a) <
+                           std::pair(g.degree(b), b);
+                  });
+        order.insert(order.end(), frontier.begin(), frontier.end());
+      }
+      level_begin = level_end;
+    }
+  }
+  PARFACT_CHECK(order.size() == static_cast<std::size_t>(g.n));
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace parfact

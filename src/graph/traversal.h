@@ -1,0 +1,24 @@
+// Breadth-first traversals: components, BFS levels, pseudo-peripheral seeds.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// Connected components. Returns component id per vertex (0-based, dense) and
+/// the number of components via `n_components`.
+[[nodiscard]] std::vector<index_t> connected_components(const Graph& g,
+                                                        index_t* n_components);
+
+/// BFS from `source`; returns the level of every vertex (kNone = unreachable).
+[[nodiscard]] std::vector<index_t> bfs_levels(const Graph& g, index_t source);
+
+/// A vertex of (approximately) maximal eccentricity in the component of
+/// `seed`, found by the George–Liu repeated-BFS heuristic. Used to seed both
+/// the graph-growing bisection and RCM.
+[[nodiscard]] index_t pseudo_peripheral_vertex(const Graph& g, index_t seed);
+
+}  // namespace parfact

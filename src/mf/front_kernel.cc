@@ -1,0 +1,121 @@
+#include "mf/front_kernel.h"
+
+#include <vector>
+
+#include "dense/kernels.h"
+#include "support/error.h"
+
+namespace parfact::detail {
+
+void eliminate_front(const SymbolicFactor& sym, index_t s,
+                     const std::vector<std::vector<real_t>>& update_of,
+                     const std::vector<std::vector<index_t>>& children,
+                     MatrixView panel, std::vector<real_t>& update_out,
+                     FrontScratch& scratch, FactorKind kind,
+                     std::span<real_t> d) {
+  const index_t p = sym.sn_cols(s);
+  const index_t b = sym.sn_below(s);
+  const index_t first = sym.sn_start[s];
+  const index_t block_end = sym.sn_start[s + 1];
+  const auto rows = sym.below_rows(s);
+
+  PARFACT_CHECK(panel.rows == sym.front_order(s) && panel.cols == p);
+  update_out.assign(static_cast<std::size_t>(b) * b, 0.0);
+  MatrixView update{update_out.data(), b, b, b};
+
+  auto& local_of = scratch.local_of;
+  for (index_t k = 0; k < p; ++k) local_of[first + k] = k;
+  for (index_t t = 0; t < b; ++t) local_of[rows[t]] = p + t;
+
+  // Scatter the original matrix columns of this supernode.
+  const SparseMatrix& a = sym.a;
+  for (index_t j = first; j < block_end; ++j) {
+    const index_t lj = j - first;
+    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+      const index_t li = local_of[a.row_ind[q]];
+      PARFACT_DCHECK(li != kNone);
+      panel.at(li, lj) += a.values[q];
+    }
+  }
+
+  // Extend-add the children's update blocks (fixed child order keeps the
+  // computation deterministic under any execution schedule).
+  for (index_t c : children[s]) {
+    const auto crows = sym.below_rows(c);
+    const index_t cb = sym.sn_below(c);
+    const ConstMatrixView cu{update_of[c].data(), cb, cb, cb};
+    for (index_t cj = 0; cj < cb; ++cj) {
+      const index_t gj = crows[cj];
+      const index_t lj = local_of[gj];
+      PARFACT_DCHECK(lj != kNone);
+      if (lj < p) {
+        // Column lands in the panel part.
+        for (index_t ci = cj; ci < cb; ++ci) {
+          panel.at(local_of[crows[ci]], lj) += cu.at(ci, cj);
+        }
+      } else {
+        // Column lands in the trailing update part.
+        const index_t uj = lj - p;
+        for (index_t ci = cj; ci < cb; ++ci) {
+          update.at(local_of[crows[ci]] - p, uj) += cu.at(ci, cj);
+        }
+      }
+    }
+  }
+
+  // Partial dense factorization of the front.
+  MatrixView l11 = panel.block(0, 0, p, p);
+  index_t info;
+  if (kind == FactorKind::kCholesky) {
+    info = potrf_lower(l11);
+  } else {
+    info = ldlt_lower(l11, d.subspan(static_cast<std::size_t>(first),
+                                     static_cast<std::size_t>(p)));
+  }
+  if (info != kNone) {
+    // Clean scratch before throwing so the pool stays reusable.
+    for (index_t k = 0; k < p; ++k) local_of[first + k] = kNone;
+    for (index_t t = 0; t < b; ++t) local_of[rows[t]] = kNone;
+    PARFACT_CHECK_MSG(false, (kind == FactorKind::kCholesky
+                                  ? "matrix is not positive definite"
+                                  : "zero LDLT pivot")
+                                 << " at column " << first + info
+                                 << " (postordered)");
+  }
+  if (b > 0) {
+    MatrixView l21 = panel.block(p, 0, b, p);
+    trsm_right_lower_trans(l11, l21);  // now holds M = A21 L11^-T = L21 D
+    if (kind == FactorKind::kCholesky) {
+      syrk_lower_update(update, l21);
+    } else {
+      // Keep M, rescale the stored panel to L21 = M D^-1, and subtract
+      // L21 Mᵀ = L21 D L21ᵀ from the Schur complement.
+      std::vector<real_t> m(static_cast<std::size_t>(b) * p);
+      for (index_t k = 0; k < p; ++k) {
+        const real_t dk = d[static_cast<std::size_t>(first + k)];
+        real_t* col = &l21.at(0, k);
+        real_t* mk = m.data() + static_cast<std::size_t>(k) * b;
+        for (index_t i = 0; i < b; ++i) {
+          mk[i] = col[i];
+          col[i] /= dk;
+        }
+      }
+      gemm_nt_update(update, l21, ConstMatrixView{m.data(), b, p, b});
+    }
+  }
+
+  for (index_t k = 0; k < p; ++k) local_of[first + k] = kNone;
+  for (index_t t = 0; t < b; ++t) local_of[rows[t]] = kNone;
+}
+
+std::vector<std::vector<index_t>> build_children(const SymbolicFactor& sym) {
+  std::vector<std::vector<index_t>> children(
+      static_cast<std::size_t>(sym.n_supernodes));
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    if (sym.sn_parent[s] != kNone) children[sym.sn_parent[s]].push_back(s);
+  }
+  return children;
+}
+
+
+}  // namespace parfact::detail

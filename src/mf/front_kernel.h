@@ -1,0 +1,40 @@
+// Internal: the single-front assemble/eliminate kernel shared by the
+// in-core, out-of-core and shared-memory multifrontal drivers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dense/matrix_view.h"
+#include "mf/multifrontal.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact::detail {
+
+/// Per-worker scratch: the global-row -> front-local-row map. Entries are
+/// only valid for the front currently being assembled and are reset after.
+struct FrontScratch {
+  std::vector<index_t> local_of;
+  explicit FrontScratch(index_t n)
+      : local_of(static_cast<std::size_t>(n), kNone) {}
+};
+
+/// Assembles and partially factorizes the front of supernode s.
+///
+/// `panel` (front_order x sn_cols, zeroed) receives the factor panel; the
+/// trailing Schur complement is written into `update_out`. Children's update
+/// blocks are consumed (extend-add) but not freed here. In LDLᵀ mode `d`
+/// receives diag(D) for this supernode's columns and the panel holds the
+/// unit-diagonal L. Throws parfact::Error on a bad pivot.
+void eliminate_front(const SymbolicFactor& sym, index_t s,
+                     const std::vector<std::vector<real_t>>& update_of,
+                     const std::vector<std::vector<index_t>>& children,
+                     MatrixView panel, std::vector<real_t>& update_out,
+                     FrontScratch& scratch, FactorKind kind,
+                     std::span<real_t> d);
+
+/// Child lists of the assembly tree.
+[[nodiscard]] std::vector<std::vector<index_t>> build_children(
+    const SymbolicFactor& sym);
+
+}  // namespace parfact::detail

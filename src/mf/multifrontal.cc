@@ -1,0 +1,134 @@
+#include "mf/multifrontal.h"
+
+#include <atomic>
+#include <span>
+#include <mutex>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "mf/front_kernel.h"
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace parfact {
+namespace {
+
+/// Tracks live update-block bytes and their peak across the run.
+class UpdateMemory {
+ public:
+  void add(std::size_t bytes) {
+    const std::size_t now = live_.fetch_add(bytes) + bytes;
+    std::size_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+  void sub(std::size_t bytes) { live_.fetch_sub(bytes); }
+  [[nodiscard]] std::size_t peak() const { return peak_.load(); }
+
+ private:
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace
+
+CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
+                                   FactorStats* stats, FactorKind kind) {
+  WallTimer timer;
+  CholeskyFactor factor(sym);
+  std::span<real_t> d;
+  if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
+  const auto children = detail::build_children(sym);
+  std::vector<std::vector<real_t>> update_of(
+      static_cast<std::size_t>(sym.n_supernodes));
+  detail::FrontScratch scratch(sym.n);
+  UpdateMemory mem;
+
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
+                            update_of[s], scratch, kind, d);
+    mem.add(update_of[s].size() * sizeof(real_t));
+    for (index_t c : children[s]) {
+      mem.sub(update_of[c].size() * sizeof(real_t));
+      update_of[c] = {};
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.seconds();
+    stats->flops = sym.total_flops;
+    stats->peak_update_bytes = mem.peak();
+  }
+  return factor;
+}
+
+CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
+                                            ThreadPool& pool,
+                                            FactorStats* stats,
+                                            FactorKind kind) {
+  WallTimer timer;
+  CholeskyFactor factor(sym);
+  std::span<real_t> d;
+  if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
+  const auto children = detail::build_children(sym);
+  const index_t ns = sym.n_supernodes;
+  std::vector<std::vector<real_t>> update_of(static_cast<std::size_t>(ns));
+  UpdateMemory mem;
+
+  // Pool of scratch maps, one handed to each running task.
+  std::mutex scratch_mu;
+  std::vector<std::unique_ptr<detail::FrontScratch>> scratch_pool;
+  auto acquire_scratch = [&]() -> std::unique_ptr<detail::FrontScratch> {
+    std::lock_guard<std::mutex> lock(scratch_mu);
+    if (scratch_pool.empty()) {
+      return std::make_unique<detail::FrontScratch>(sym.n);
+    }
+    auto s = std::move(scratch_pool.back());
+    scratch_pool.pop_back();
+    return s;
+  };
+  auto release_scratch = [&](std::unique_ptr<detail::FrontScratch> s) {
+    std::lock_guard<std::mutex> lock(scratch_mu);
+    scratch_pool.push_back(std::move(s));
+  };
+
+  // Dependency counting: a supernode becomes ready when all children are
+  // done; leaves are seeded directly.
+  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) {
+    pending[s].store(static_cast<index_t>(children[s].size()));
+  }
+
+  // The recursive task body: run this supernode, then maybe enqueue parent.
+  std::function<void(index_t)> run_supernode = [&](index_t s) {
+    auto scratch = acquire_scratch();
+    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
+                            update_of[s], *scratch, kind, d);
+    release_scratch(std::move(scratch));
+    mem.add(update_of[s].size() * sizeof(real_t));
+    for (index_t c : children[s]) {
+      mem.sub(update_of[c].size() * sizeof(real_t));
+      update_of[c] = {};
+    }
+    const index_t parent = sym.sn_parent[s];
+    if (parent != kNone && pending[parent].fetch_sub(1) == 1) {
+      pool.submit([&run_supernode, parent] { run_supernode(parent); });
+    }
+  };
+
+  for (index_t s = 0; s < ns; ++s) {
+    if (children[s].empty()) {
+      pool.submit([&run_supernode, s] { run_supernode(s); });
+    }
+  }
+  pool.wait();
+
+  if (stats != nullptr) {
+    stats->seconds = timer.seconds();
+    stats->flops = sym.total_flops;
+    stats->peak_update_bytes = mem.peak();
+  }
+  return factor;
+}
+
+}  // namespace parfact

@@ -1,0 +1,40 @@
+// Multifrontal Cholesky factorization (serial and shared-memory parallel).
+//
+// For each supernode (in postorder) a dense *front* is assembled from the
+// original matrix entries plus the children's update blocks (extend–add),
+// then partially factorized: the supernode's columns are eliminated and the
+// trailing Schur complement becomes this front's update block, passed to the
+// parent. The elimination-tree structure makes disjoint subtrees completely
+// independent, which is what every parallel variant exploits.
+#pragma once
+
+#include "mf/factor.h"
+#include "support/thread_pool.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+/// Which numeric factorization to compute on each front.
+enum class FactorKind {
+  kCholesky,  ///< A = L Lᵀ, requires SPD
+  kLdlt,      ///< A = L D Lᵀ without pivoting, for symmetric quasi-definite
+              ///< (strongly factorizable) matrices — e.g. KKT saddle points
+};
+
+/// Serial multifrontal factorization of sym.a (the postordered matrix held
+/// by the symbolic phase). Throws parfact::Error if a front hits a
+/// non-positive (Cholesky) or zero (LDLᵀ) pivot.
+[[nodiscard]] CholeskyFactor multifrontal_factor(
+    const SymbolicFactor& sym, FactorStats* stats = nullptr,
+    FactorKind kind = FactorKind::kCholesky);
+
+/// Tree-parallel multifrontal factorization: supernode tasks run on `pool`
+/// as soon as all their children finish. Bitwise behaviour matches the
+/// serial code except for the usual floating-point reassociation caused by
+/// children extend-adds arriving in nondeterministic order being *avoided*:
+/// extend-add order is fixed by child index, so results are deterministic.
+[[nodiscard]] CholeskyFactor multifrontal_factor_parallel(
+    const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
+    FactorKind kind = FactorKind::kCholesky);
+
+}  // namespace parfact

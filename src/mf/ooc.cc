@@ -1,0 +1,151 @@
+#include "mf/ooc.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "dense/kernels.h"
+#include "mf/front_kernel.h"
+#include "support/error.h"
+#include "support/timer.h"
+
+namespace parfact {
+
+OocCholeskyFactor::OocCholeskyFactor(const SymbolicFactor& sym,
+                                     std::string path)
+    : sym_(&sym), path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb+");
+  PARFACT_CHECK_MSG(file_ != nullptr, "cannot create scratch file " << path_);
+  offset_.resize(static_cast<std::size_t>(sym.n_supernodes) + 1);
+  offset_[0] = 0;
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const count_t panel_bytes = static_cast<count_t>(sym.front_order(s)) *
+                                sym.sn_cols(s) *
+                                static_cast<count_t>(sizeof(real_t));
+    offset_[s + 1] = offset_[s] + panel_bytes;
+  }
+}
+
+OocCholeskyFactor::~OocCholeskyFactor() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+}
+
+OocCholeskyFactor::OocCholeskyFactor(OocCholeskyFactor&& other) noexcept
+    : sym_(other.sym_),
+      path_(std::move(other.path_)),
+      file_(std::exchange(other.file_, nullptr)),
+      offset_(std::move(other.offset_)) {}
+
+count_t OocCholeskyFactor::bytes_on_disk() const { return offset_.back(); }
+
+void OocCholeskyFactor::write_panel(index_t s, ConstMatrixView panel) {
+  PARFACT_CHECK(panel.rows == sym_->front_order(s) &&
+                panel.cols == sym_->sn_cols(s) && panel.ld == panel.rows);
+  PARFACT_CHECK(std::fseek(file_, static_cast<long>(offset_[s]), SEEK_SET) ==
+                0);
+  const std::size_t count =
+      static_cast<std::size_t>(panel.rows) * panel.cols;
+  PARFACT_CHECK_MSG(
+      std::fwrite(panel.data, sizeof(real_t), count, file_) == count,
+      "short write to " << path_);
+}
+
+void OocCholeskyFactor::read_panel(index_t s, MatrixView out) const {
+  PARFACT_CHECK(out.rows == sym_->front_order(s) &&
+                out.cols == sym_->sn_cols(s) && out.ld == out.rows);
+  PARFACT_CHECK(std::fseek(file_, static_cast<long>(offset_[s]), SEEK_SET) ==
+                0);
+  const std::size_t count = static_cast<std::size_t>(out.rows) * out.cols;
+  PARFACT_CHECK_MSG(
+      std::fread(out.data, sizeof(real_t), count, file_) == count,
+      "short read from " << path_);
+}
+
+OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
+                                          const std::string& path,
+                                          FactorStats* stats) {
+  WallTimer timer;
+  OocCholeskyFactor factor(sym, path);
+  const auto children = detail::build_children(sym);
+  std::vector<std::vector<real_t>> update_of(
+      static_cast<std::size_t>(sym.n_supernodes));
+  detail::FrontScratch scratch(sym.n);
+  std::vector<real_t> panel_buf;
+
+  std::size_t live = 0;
+  std::size_t peak = 0;
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const index_t f = sym.front_order(s);
+    const index_t p = sym.sn_cols(s);
+    panel_buf.assign(static_cast<std::size_t>(f) * p, 0.0);
+    MatrixView panel{panel_buf.data(), f, p, f};
+    detail::eliminate_front(sym, s, update_of, children, panel, update_of[s],
+                            scratch, FactorKind::kCholesky, {});
+    factor.write_panel(s, panel);
+    live += update_of[s].size() * sizeof(real_t);
+    peak = std::max(peak, live + panel_buf.size() * sizeof(real_t));
+    for (index_t c : children[s]) {
+      live -= update_of[c].size() * sizeof(real_t);
+      update_of[c] = {};
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->seconds = timer.seconds();
+    stats->flops = sym.total_flops;
+    stats->peak_update_bytes = peak;
+  }
+  return factor;
+}
+
+void ooc_solve_in_place(const OocCholeskyFactor& factor, MatrixView x) {
+  const SymbolicFactor& sym = factor.symbolic();
+  PARFACT_CHECK(x.rows == sym.n);
+  std::vector<real_t> panel_buf;
+  std::vector<real_t> gathered;
+
+  // Forward sweep (panels streamed in supernode order).
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const index_t f = p + b;
+    panel_buf.resize(static_cast<std::size_t>(f) * p);
+    MatrixView panel{panel_buf.data(), f, p, f};
+    factor.read_panel(s, panel);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    trsm_left_lower(panel.block(0, 0, p, p), x1);
+    if (b == 0) continue;
+    gathered.assign(static_cast<std::size_t>(b) * x.cols, 0.0);
+    MatrixView t{gathered.data(), b, x.cols, b};
+    gemm_nn_update(t, panel.block(p, 0, b, p), x1);
+    const auto rows = sym.below_rows(s);
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < b; ++i) x.at(rows[i], c) += t.at(i, c);
+    }
+  }
+  // Backward sweep (reverse streaming).
+  for (index_t s = sym.n_supernodes - 1; s >= 0; --s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const index_t f = p + b;
+    panel_buf.resize(static_cast<std::size_t>(f) * p);
+    MatrixView panel{panel_buf.data(), f, p, f};
+    factor.read_panel(s, panel);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    if (b > 0) {
+      const auto rows = sym.below_rows(s);
+      gathered.resize(static_cast<std::size_t>(b) * x.cols);
+      MatrixView t{gathered.data(), b, x.cols, b};
+      for (index_t c = 0; c < x.cols; ++c) {
+        for (index_t i = 0; i < b; ++i) t.at(i, c) = x.at(rows[i], c);
+      }
+      gemm_tn_update(x1, panel.block(p, 0, b, p), t);
+    }
+    trsm_left_lower_trans(panel.block(0, 0, p, p), x1);
+  }
+}
+
+}  // namespace parfact

@@ -1,0 +1,58 @@
+// Out-of-core factorization — the WSMP-lineage mode for problems whose
+// factor exceeds memory: each supernode panel is streamed to a scratch file
+// the moment it is eliminated, so resident memory holds only the active
+// front and the multifrontal update stack. The triangular solves stream the
+// panels back (forward sweep reads the file front-to-back, backward sweep
+// back-to-front).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dense/matrix_view.h"
+#include "mf/factor.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+/// Disk-backed supernodal Cholesky factor. Panel layout on disk matches
+/// CholeskyFactor's in-memory layout (column-major trapezoid per supernode,
+/// concatenated in supernode order). The scratch file is deleted on
+/// destruction.
+class OocCholeskyFactor {
+ public:
+  /// Creates/truncates the scratch file. `sym` must outlive this object.
+  OocCholeskyFactor(const SymbolicFactor& sym, std::string path);
+  ~OocCholeskyFactor();
+
+  OocCholeskyFactor(const OocCholeskyFactor&) = delete;
+  OocCholeskyFactor& operator=(const OocCholeskyFactor&) = delete;
+  OocCholeskyFactor(OocCholeskyFactor&& other) noexcept;
+
+  [[nodiscard]] const SymbolicFactor& symbolic() const { return *sym_; }
+  [[nodiscard]] count_t bytes_on_disk() const;
+
+  /// Writes supernode s's panel (front_order x sn_cols) to its file slot.
+  void write_panel(index_t s, ConstMatrixView panel);
+  /// Reads supernode s's panel into `out` (same shape, ld == rows).
+  void read_panel(index_t s, MatrixView out) const;
+
+ private:
+  const SymbolicFactor* sym_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<count_t> offset_;  ///< per-supernode byte offset
+};
+
+/// Out-of-core serial multifrontal Cholesky. `stats->peak_update_bytes`
+/// reports the resident update-stack peak — the number that stays small
+/// while the factor itself goes to disk.
+[[nodiscard]] OocCholeskyFactor multifrontal_factor_ooc(
+    const SymbolicFactor& sym, const std::string& path,
+    FactorStats* stats = nullptr);
+
+/// x := A⁻¹ x with panels streamed from disk (x is n x nrhs).
+void ooc_solve_in_place(const OocCholeskyFactor& factor, MatrixView x);
+
+}  // namespace parfact

@@ -1,0 +1,314 @@
+#include "mpsim/machine.h"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/error.h"
+
+namespace parfact::mpsim {
+
+namespace {
+
+int ceil_log2(int n) {
+  int l = 0;
+  while ((1 << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+class Machine {
+ public:
+  Machine(int n, const MachineModel& model)
+      : model_(model), n_(n), boxes_(static_cast<std::size_t>(n)) {}
+
+  const MachineModel model_;
+  const int n_;
+
+  struct Message {
+    double arrival;
+    std::vector<std::byte> data;
+  };
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;
+  };
+  std::vector<Mailbox> boxes_;
+
+  // Collective rendezvous state (all collectives are full-rendezvous; MPI
+  // programs must call them in the same order on every rank anyway).
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  std::uint64_t coll_gen_ = 0;
+  int coll_arrived_ = 0;
+  double coll_sum_ = 0.0;
+  double coll_max_ = 0.0;
+  double coll_clock_ = 0.0;
+  std::vector<std::byte> coll_payload_;
+  double coll_result_sum_ = 0.0;
+  double coll_result_max_ = 0.0;
+  double coll_result_clock_ = 0.0;
+  std::vector<std::byte> coll_result_payload_;
+
+  std::atomic<count_t> total_messages_{0};
+  std::atomic<count_t> total_bytes_{0};
+  std::atomic<bool> aborted_{false};
+
+  void abort_all() {
+    aborted_.store(true);
+    for (auto& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(coll_mu_);
+      coll_cv_.notify_all();
+    }
+  }
+
+  void check_abort() const {
+    if (aborted_.load()) {
+      throw Error("mpsim: run aborted because another rank failed");
+    }
+  }
+};
+
+int Comm::size() const { return machine_->n_; }
+
+const MachineModel& Comm::model() const { return machine_->model_; }
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  PARFACT_CHECK(dest >= 0 && dest < machine_->n_);
+  machine_->check_abort();
+  // A self-send is a local memcpy: no latency, no link traffic.
+  const bool local = dest == rank_;
+  const double arrival =
+      local ? clock_
+            : clock_ + machine_->model_.alpha +
+                  static_cast<double>(bytes) * machine_->model_.beta;
+  if (!local) clock_ += machine_->model_.alpha;  // sender-side overhead
+  Machine::Message msg;
+  msg.arrival = arrival;
+  msg.data.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
+  auto& box = machine_->boxes_[dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[{rank_, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  if (!local) {
+    machine_->total_messages_.fetch_add(1);
+    machine_->total_bytes_.fetch_add(static_cast<count_t>(bytes));
+  }
+}
+
+std::vector<std::byte> Comm::recv(int source, int tag) {
+  PARFACT_CHECK(source >= 0 && source < machine_->n_);
+  auto& box = machine_->boxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(source, tag);
+  box.cv.wait(lock, [&] {
+    if (machine_->aborted_.load()) return true;
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  machine_->check_abort();
+  auto& q = box.queues[key];
+  Machine::Message msg = std::move(q.front());
+  q.pop_front();
+  lock.unlock();
+  clock_ = std::max(clock_, msg.arrival);
+  return std::move(msg.data);
+}
+
+namespace {
+
+/// Shared rendezvous: combines (clock, sum, max, optional payload from
+/// `payload_rank`) across all ranks; returns after everyone arrived.
+struct CollResult {
+  double clock;
+  double sum;
+  double max;
+};
+
+}  // namespace
+
+void Comm::barrier() {
+  (void)allreduce_sum(0.0);
+}
+
+double Comm::allreduce_sum(double v) {
+  Machine& m = *machine_;
+  std::unique_lock<std::mutex> lock(m.coll_mu_);
+  m.check_abort();
+  const std::uint64_t my_gen = m.coll_gen_;
+  if (m.coll_arrived_ == 0) {
+    m.coll_sum_ = 0.0;
+    m.coll_max_ = 0.0;
+    m.coll_clock_ = 0.0;
+  }
+  m.coll_sum_ += v;
+  m.coll_max_ = std::max(m.coll_max_, v);
+  m.coll_clock_ = std::max(m.coll_clock_, clock_);
+  if (++m.coll_arrived_ == m.n_) {
+    m.coll_result_sum_ = m.coll_sum_;
+    m.coll_result_max_ = m.coll_max_;
+    m.coll_result_clock_ = m.coll_clock_;
+    m.coll_arrived_ = 0;
+    ++m.coll_gen_;
+    m.coll_cv_.notify_all();
+  } else {
+    m.coll_cv_.wait(lock, [&] {
+      return m.aborted_.load() || m.coll_gen_ != my_gen;
+    });
+    m.check_abort();
+  }
+  // Binomial-tree reduce + broadcast of one double.
+  const double cost = 2.0 * ceil_log2(m.n_) *
+                      (m.model_.alpha + 8.0 * m.model_.beta);
+  clock_ = m.coll_result_clock_ + cost;
+  return m.coll_result_sum_;
+}
+
+double Comm::allreduce_max(double v) {
+  // Same rendezvous; both aggregates are always combined, so piggyback.
+  Machine& m = *machine_;
+  std::unique_lock<std::mutex> lock(m.coll_mu_);
+  m.check_abort();
+  const std::uint64_t my_gen = m.coll_gen_;
+  if (m.coll_arrived_ == 0) {
+    m.coll_sum_ = 0.0;
+    m.coll_max_ = -std::numeric_limits<double>::infinity();
+    m.coll_clock_ = 0.0;
+  }
+  m.coll_sum_ += v;
+  m.coll_max_ = std::max(m.coll_max_, v);
+  m.coll_clock_ = std::max(m.coll_clock_, clock_);
+  if (++m.coll_arrived_ == m.n_) {
+    m.coll_result_sum_ = m.coll_sum_;
+    m.coll_result_max_ = m.coll_max_;
+    m.coll_result_clock_ = m.coll_clock_;
+    m.coll_arrived_ = 0;
+    ++m.coll_gen_;
+    m.coll_cv_.notify_all();
+  } else {
+    m.coll_cv_.wait(lock, [&] {
+      return m.aborted_.load() || m.coll_gen_ != my_gen;
+    });
+    m.check_abort();
+  }
+  const double cost = 2.0 * ceil_log2(m.n_) *
+                      (m.model_.alpha + 8.0 * m.model_.beta);
+  clock_ = m.coll_result_clock_ + cost;
+  return m.coll_result_max_;
+}
+
+void Comm::bcast(int root, std::vector<std::byte>* data) {
+  PARFACT_CHECK(root >= 0 && root < machine_->n_);
+  Machine& m = *machine_;
+  std::unique_lock<std::mutex> lock(m.coll_mu_);
+  m.check_abort();
+  const std::uint64_t my_gen = m.coll_gen_;
+  if (m.coll_arrived_ == 0) m.coll_clock_ = 0.0;
+  if (rank_ == root) m.coll_payload_ = *data;
+  m.coll_clock_ = std::max(m.coll_clock_, clock_);
+  if (++m.coll_arrived_ == m.n_) {
+    m.coll_result_payload_ = std::move(m.coll_payload_);
+    m.coll_payload_.clear();
+    m.coll_result_clock_ = m.coll_clock_;
+    m.coll_arrived_ = 0;
+    ++m.coll_gen_;
+    m.coll_cv_.notify_all();
+  } else {
+    m.coll_cv_.wait(lock, [&] {
+      return m.aborted_.load() || m.coll_gen_ != my_gen;
+    });
+    m.check_abort();
+  }
+  if (rank_ != root) *data = m.coll_result_payload_;
+  const double bytes = static_cast<double>(data->size());
+  const double cost = ceil_log2(m.n_) *
+                      (m.model_.alpha + bytes * m.model_.beta);
+  clock_ = m.coll_result_clock_ + cost;
+}
+
+void Comm::advance_compute(count_t flops) {
+  PARFACT_DCHECK(flops >= 0);
+  const double s = static_cast<double>(flops) / machine_->model_.flop_rate;
+  clock_ += s;
+  compute_time_ += s;
+}
+
+void Comm::advance_bytes(count_t bytes) {
+  PARFACT_DCHECK(bytes >= 0);
+  clock_ += static_cast<double>(bytes) / machine_->model_.mem_rate;
+}
+
+void Comm::advance_seconds(double s) {
+  PARFACT_DCHECK(s >= 0.0);
+  clock_ += s;
+}
+
+void Comm::memory_add(count_t bytes) {
+  mem_live_ += bytes;
+  mem_peak_ = std::max(mem_peak_, mem_live_);
+}
+
+void Comm::memory_sub(count_t bytes) {
+  mem_live_ -= bytes;
+  PARFACT_DCHECK(mem_live_ >= 0);
+}
+
+RunStats run_spmd(int n_ranks, const MachineModel& model,
+                  const std::function<void(Comm&)>& rank_fn) {
+  PARFACT_CHECK(n_ranks >= 1);
+  Machine machine(n_ranks, model);
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) comms.push_back(Comm(&machine, r));
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rank_fn(comms[r]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        machine.abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunStats stats;
+  stats.rank_time.reserve(comms.size());
+  stats.rank_compute.reserve(comms.size());
+  stats.rank_peak_bytes.reserve(comms.size());
+  for (const Comm& c : comms) {
+    stats.rank_time.push_back(c.clock_);
+    stats.rank_compute.push_back(c.compute_time_);
+    stats.rank_peak_bytes.push_back(c.mem_peak_);
+    stats.makespan = std::max(stats.makespan, c.clock_);
+  }
+  stats.total_messages = machine.total_messages_.load();
+  stats.total_bytes = machine.total_bytes_.load();
+  return stats;
+}
+
+}  // namespace parfact::mpsim

@@ -1,0 +1,121 @@
+// mpsim: an in-process message-passing machine with virtual time.
+//
+// This is the substitute for the paper's MPI cluster (see DESIGN.md §2).
+// Rank programs are ordinary C++ functions running on one thread per rank and
+// communicating through the MPI-like `Comm` handle: tagged point-to-point
+// send/recv plus the collectives the solver needs. Semantics follow the
+// message-passing model of the LLNL MPI tutorial: explicit cooperative
+// transfers, blocking receives matched by (source, tag) in FIFO order.
+//
+// Virtual time: every rank carries a logical clock. Local computation
+// advances it through Comm::advance_compute (flops / machine flop rate) and
+// advance_bytes (bytes / memory rate); a message costs the sender `alpha`
+// and arrives at `send_clock + alpha + bytes * beta`; a receive completes at
+// max(receiver clock, arrival). Collectives use binomial-tree costs. The
+// resulting makespan (max final clock) is the quantity every scaling
+// experiment reports — it is deterministic and independent of how the host
+// OS schedules the rank threads, which is what makes thousand-rank scaling
+// studies meaningful on a one-core machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "support/types.h"
+
+namespace parfact::mpsim {
+
+/// Cluster model parameters (alpha-beta-gamma). Defaults approximate a
+/// commodity cluster node; experiments calibrate flop_rate from the measured
+/// GEMM rate (dense::measure_gemm_rate) so shapes stay hardware-honest.
+struct MachineModel {
+  double flop_rate = 2.0e9;       ///< flop/s per rank
+  double alpha = 5.0e-6;          ///< per-message latency, seconds
+  double beta = 1.0e-9;           ///< seconds per byte on a link
+  double mem_rate = 8.0e9;        ///< bytes/s for local assembly traffic
+};
+
+/// Aggregate statistics of one SPMD run.
+struct RunStats {
+  double makespan = 0.0;               ///< max final virtual clock
+  std::vector<double> rank_time;       ///< final clock per rank
+  std::vector<double> rank_compute;    ///< virtual seconds in compute per rank
+  count_t total_messages = 0;
+  count_t total_bytes = 0;
+  std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
+};
+
+class Machine;
+class Comm;
+
+/// Runs `rank_fn` as an SPMD program on `n_ranks` virtual ranks (one host
+/// thread each) and returns the run statistics. Rank program exceptions are
+/// rethrown (first one wins) after all threads have been joined.
+RunStats run_spmd(int n_ranks, const MachineModel& model,
+                  const std::function<void(Comm&)>& rank_fn);
+
+/// Per-rank communicator handle passed to the rank program.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] const MachineModel& model() const;
+
+  /// Blocking tagged send (buffered: returns after the sender-side cost).
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive matching (source, tag), FIFO among identical pairs.
+  [[nodiscard]] std::vector<std::byte> recv(int source, int tag);
+
+  /// Typed helpers for vectors of trivially copyable T.
+  template <typename T>
+  void send_vec(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv_vec(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> raw = recv(source, tag);
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  /// Collectives over all ranks (every rank must call).
+  void barrier();
+  [[nodiscard]] double allreduce_sum(double v);
+  [[nodiscard]] double allreduce_max(double v);
+  /// Root's buffer is distributed to everyone; non-roots pass their out
+  /// buffer which is resized.
+  void bcast(int root, std::vector<std::byte>* data);
+
+  /// Virtual-time hooks.
+  void advance_compute(count_t flops);
+  void advance_bytes(count_t bytes);
+  void advance_seconds(double s);
+  [[nodiscard]] double now() const { return clock_; }
+
+  /// Application memory accounting (peak is reported in RunStats).
+  void memory_add(count_t bytes);
+  void memory_sub(count_t bytes);
+
+ private:
+  friend class Machine;
+  friend RunStats run_spmd(int, const MachineModel&,
+                           const std::function<void(Comm&)>&);
+  Comm(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
+
+  Machine* machine_;
+  int rank_;
+  double clock_ = 0.0;
+  double compute_time_ = 0.0;
+  count_t mem_live_ = 0;
+  count_t mem_peak_ = 0;
+};
+
+}  // namespace parfact::mpsim

@@ -1,0 +1,107 @@
+#include "solve/solve.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "sparse/ops.h"
+#include "support/error.h"
+
+namespace parfact {
+
+void forward_solve(const CholeskyFactor& factor, MatrixView x) {
+  const SymbolicFactor& sym = factor.symbolic();
+  PARFACT_CHECK(x.rows == sym.n);
+  std::vector<real_t> gathered;
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const ConstMatrixView panel = factor.panel(s);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    trsm_left_lower(panel.block(0, 0, p, p), x1);
+    if (b == 0) continue;
+    // x[rows] -= L21 * x1, via a gathered temporary (rows are scattered).
+    gathered.assign(static_cast<std::size_t>(b) * x.cols, 0.0);
+    MatrixView t{gathered.data(), b, x.cols, b};
+    gemm_nn_update(t, panel.block(p, 0, b, p), x1);  // t = -L21 x1
+    const auto rows = sym.below_rows(s);
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < b; ++i) x.at(rows[i], c) += t.at(i, c);
+    }
+  }
+}
+
+void backward_solve(const CholeskyFactor& factor, MatrixView x) {
+  const SymbolicFactor& sym = factor.symbolic();
+  PARFACT_CHECK(x.rows == sym.n);
+  std::vector<real_t> gathered;
+  for (index_t s = sym.n_supernodes - 1; s >= 0; --s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const ConstMatrixView panel = factor.panel(s);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    if (b > 0) {
+      const auto rows = sym.below_rows(s);
+      gathered.resize(static_cast<std::size_t>(b) * x.cols);
+      MatrixView t{gathered.data(), b, x.cols, b};
+      for (index_t c = 0; c < x.cols; ++c) {
+        for (index_t i = 0; i < b; ++i) t.at(i, c) = x.at(rows[i], c);
+      }
+      gemm_tn_update(x1, panel.block(p, 0, b, p), t);  // x1 -= L21ᵀ t
+    }
+    trsm_left_lower_trans(panel.block(0, 0, p, p), x1);
+  }
+}
+
+void solve_in_place(const CholeskyFactor& factor, MatrixView x) {
+  forward_solve(factor, x);
+  if (factor.is_ldlt()) {
+    // Diagonal solve of the L D Lᵀ factorization (L has unit diagonal
+    // stored as 1.0, so the forward/backward sweeps need no change).
+    const std::span<const real_t> d = factor.diag();
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < x.rows; ++i) x.at(i, c) /= d[i];
+    }
+  }
+  backward_solve(factor, x);
+}
+
+real_t relative_residual(const SparseMatrix& lower_a,
+                         std::span<const real_t> x,
+                         std::span<const real_t> b) {
+  PARFACT_CHECK(static_cast<index_t>(x.size()) == lower_a.rows);
+  PARFACT_CHECK(x.size() == b.size());
+  std::vector<real_t> r(x.size());
+  spmv_symmetric_lower(lower_a, x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  const real_t denom = norm_inf(symmetrize_full(lower_a)) *
+                           norm_inf(std::span<const real_t>(x)) +
+                       norm_inf(b);
+  const real_t num = norm_inf(std::span<const real_t>(r));
+  return denom > 0.0 ? num / denom : num;
+}
+
+RefinementResult iterative_refinement(const SparseMatrix& lower_a,
+                                      const CholeskyFactor& factor,
+                                      std::span<const real_t> b,
+                                      std::span<real_t> x, int max_iterations,
+                                      real_t tol) {
+  const index_t n = lower_a.rows;
+  PARFACT_CHECK(static_cast<index_t>(x.size()) == n);
+  RefinementResult result;
+  std::vector<real_t> r(static_cast<std::size_t>(n));
+  for (result.iterations = 0; result.iterations < max_iterations;
+       ++result.iterations) {
+    result.residual = relative_residual(lower_a, x, b);
+    if (result.residual <= tol) break;
+    // r = b - A x, solve A d = r, x += d.
+    spmv_symmetric_lower(lower_a, x, r);
+    for (index_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    solve_in_place(factor, MatrixView{r.data(), n, 1, n});
+    for (index_t i = 0; i < n; ++i) x[i] += r[i];
+  }
+  result.residual = relative_residual(lower_a, x, b);
+  return result;
+}
+
+}  // namespace parfact

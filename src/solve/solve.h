@@ -1,0 +1,48 @@
+// Supernodal triangular solves, iterative refinement and residual checks.
+//
+// All solves operate in the *postordered* index space of the SymbolicFactor
+// (the api module composes the fill-reducing permutation and the postorder
+// for callers working in original coordinates). Right-hand sides are dense
+// n x nrhs column-major blocks.
+#pragma once
+
+#include <span>
+
+#include "dense/matrix_view.h"
+#include "mf/factor.h"
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// x := L⁻¹ x (forward substitution through the supernode panels).
+void forward_solve(const CholeskyFactor& factor, MatrixView x);
+
+/// x := L⁻ᵀ x (backward substitution).
+void backward_solve(const CholeskyFactor& factor, MatrixView x);
+
+/// x := A⁻¹ x via forward then backward solve.
+void solve_in_place(const CholeskyFactor& factor, MatrixView x);
+
+/// Componentwise-scaled relative residual ‖b − A x‖∞ / (‖A‖∞ ‖x‖∞ + ‖b‖∞)
+/// for the symmetric lower-stored `a`. Single right-hand side.
+[[nodiscard]] real_t relative_residual(const SparseMatrix& lower_a,
+                                       std::span<const real_t> x,
+                                       std::span<const real_t> b);
+
+struct RefinementResult {
+  int iterations = 0;
+  real_t residual = 0.0;  ///< final relative residual
+};
+
+/// Classical iterative refinement: repeatedly solve A d = r and update x
+/// until the relative residual drops below `tol` or `max_iterations` is hit.
+/// `x` must already hold the initial solve's result.
+RefinementResult iterative_refinement(const SparseMatrix& lower_a,
+                                      const CholeskyFactor& factor,
+                                      std::span<const real_t> b,
+                                      std::span<real_t> x,
+                                      int max_iterations = 5,
+                                      real_t tol = 1e-14);
+
+}  // namespace parfact

@@ -1,0 +1,298 @@
+#include "sparse/gen.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "sparse/ops.h"
+#include "support/error.h"
+#include "support/prng.h"
+
+namespace parfact {
+namespace {
+
+index_t idx2(index_t x, index_t y, index_t nx) { return y * nx + x; }
+
+index_t idx3(index_t x, index_t y, index_t z, index_t nx, index_t ny) {
+  return (z * ny + y) * nx + x;
+}
+
+}  // namespace
+
+SparseMatrix grid_laplacian_2d(index_t nx, index_t ny, int stencil) {
+  PARFACT_CHECK(nx >= 1 && ny >= 1);
+  PARFACT_CHECK(stencil == 5 || stencil == 9);
+  const index_t n = nx * ny;
+  TripletBuilder b(n, n);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t me = idx2(x, y, nx);
+      real_t diag = 0.0;
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (stencil == 5 && dx != 0 && dy != 0) continue;
+          const index_t xx = x + dx;
+          const index_t yy = y + dy;
+          diag += 1.0;  // Dirichlet boundary: off-grid neighbors still add
+                        // to the diagonal, keeping the matrix SPD.
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          const index_t other = idx2(xx, yy, nx);
+          if (other < me) b.add(me, other, -1.0);  // lower triangle only
+        }
+      }
+      b.add(me, me, diag + 0.05);
+    }
+  }
+  return b.build();
+}
+
+SparseMatrix grid_laplacian_3d(index_t nx, index_t ny, index_t nz,
+                               int stencil) {
+  PARFACT_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  PARFACT_CHECK(stencil == 7 || stencil == 27);
+  const index_t n = nx * ny * nz;
+  TripletBuilder b(n, n);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t me = idx3(x, y, z, nx, ny);
+        real_t diag = 0.0;
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const int axes = (dx != 0) + (dy != 0) + (dz != 0);
+              if (stencil == 7 && axes != 1) continue;
+              const index_t xx = x + dx;
+              const index_t yy = y + dy;
+              const index_t zz = z + dz;
+              diag += 1.0;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz) {
+                continue;
+              }
+              const index_t other = idx3(xx, yy, zz, nx, ny);
+              if (other < me) b.add(me, other, -1.0);
+            }
+          }
+        }
+        b.add(me, me, diag + 0.05);
+      }
+    }
+  }
+  return b.build();
+}
+
+namespace {
+
+/// 24x24 stiffness of one trilinear hexahedral element on a unit cube,
+/// isotropic linear elasticity, 2x2x2 Gauss quadrature. Dof layout:
+/// node-major, (ux, uy, uz) per node, nodes in lexicographic corner order.
+std::array<std::array<real_t, 24>, 24> hex8_stiffness(real_t e_modulus,
+                                                      real_t nu) {
+  // Lamé parameters.
+  const real_t lambda =
+      e_modulus * nu / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const real_t mu = e_modulus / (2.0 * (1.0 + nu));
+
+  // Corner reference coordinates in {-1, +1}^3.
+  std::array<std::array<real_t, 3>, 8> corner;
+  for (int a = 0; a < 8; ++a) {
+    corner[a] = {real_t(a & 1 ? 1 : -1), real_t(a & 2 ? 1 : -1),
+                 real_t(a & 4 ? 1 : -1)};
+  }
+
+  const real_t g = 1.0 / std::sqrt(3.0);  // Gauss point coordinate
+  std::array<std::array<real_t, 24>, 24> k{};
+
+  for (int gp = 0; gp < 8; ++gp) {
+    const real_t xi = (gp & 1 ? g : -g);
+    const real_t eta = (gp & 2 ? g : -g);
+    const real_t zeta = (gp & 4 ? g : -g);
+
+    // Shape-function gradients in reference coordinates. On the unit-cube
+    // element the Jacobian is diag(1/2), so physical gradients are 2x the
+    // reference ones and the quadrature weight is det(J) = 1/8.
+    std::array<std::array<real_t, 3>, 8> dn;
+    for (int a = 0; a < 8; ++a) {
+      const real_t cx = corner[a][0];
+      const real_t cy = corner[a][1];
+      const real_t cz = corner[a][2];
+      dn[a][0] = 0.125 * cx * (1 + cy * eta) * (1 + cz * zeta) * 2.0;
+      dn[a][1] = 0.125 * cy * (1 + cx * xi) * (1 + cz * zeta) * 2.0;
+      dn[a][2] = 0.125 * cz * (1 + cx * xi) * (1 + cy * eta) * 2.0;
+    }
+    const real_t w = 0.125;  // det(J) * unit Gauss weight
+
+    // k += w * Bᵀ D B without forming B: standard index expression for
+    // isotropic elasticity,
+    // K[3a+i][3b+j] += w * (lambda dN_a/dx_i dN_b/dx_j
+    //                       + mu dN_a/dx_j dN_b/dx_i
+    //                       + mu delta_ij sum_m dN_a/dx_m dN_b/dx_m).
+    for (int a = 0; a < 8; ++a) {
+      for (int b = 0; b < 8; ++b) {
+        real_t grad_dot = 0.0;
+        for (int m = 0; m < 3; ++m) grad_dot += dn[a][m] * dn[b][m];
+        for (int i = 0; i < 3; ++i) {
+          for (int j = 0; j < 3; ++j) {
+            real_t v = lambda * dn[a][i] * dn[b][j] +
+                       mu * dn[a][j] * dn[b][i];
+            if (i == j) v += mu * grad_dot;
+            k[3 * a + i][3 * b + j] += w * v;
+          }
+        }
+      }
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+SparseMatrix elasticity_3d(index_t nx, index_t ny, index_t nz,
+                           real_t e_modulus, real_t nu) {
+  PARFACT_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  const auto ke = hex8_stiffness(e_modulus, nu);
+  const index_t nnx = nx + 1;
+  const index_t nny = ny + 1;
+  const index_t nnz_nodes = nz + 1;
+  const index_t n = 3 * nnx * nny * nnz_nodes;
+  TripletBuilder b(n, n);
+
+  for (index_t ez = 0; ez < nz; ++ez) {
+    for (index_t ey = 0; ey < ny; ++ey) {
+      for (index_t ex = 0; ex < nx; ++ex) {
+        // Global node numbers of the 8 element corners, same corner order as
+        // hex8_stiffness.
+        std::array<index_t, 8> node;
+        for (int a = 0; a < 8; ++a) {
+          const index_t x = ex + ((a & 1) ? 1 : 0);
+          const index_t y = ey + ((a & 2) ? 1 : 0);
+          const index_t z = ez + ((a & 4) ? 1 : 0);
+          node[a] = idx3(x, y, z, nnx, nny);
+        }
+        for (int a = 0; a < 8; ++a) {
+          for (int i = 0; i < 3; ++i) {
+            const index_t gi = 3 * node[a] + i;
+            for (int bb = 0; bb < 8; ++bb) {
+              for (int j = 0; j < 3; ++j) {
+                const index_t gj = 3 * node[bb] + j;
+                if (gj > gi) continue;  // assemble lower triangle only
+                const real_t v = ke[3 * a + i][3 * bb + j];
+                if (v != 0.0) b.add(gi, gj, v);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Clamp the z=0 face with a diagonal penalty (keeps SPD, no renumbering).
+  const real_t penalty = 1e4 * e_modulus;
+  for (index_t y = 0; y < nny; ++y) {
+    for (index_t x = 0; x < nnx; ++x) {
+      const index_t node = idx3(x, y, 0, nnx, nny);
+      for (int i = 0; i < 3; ++i) b.add(3 * node + i, 3 * node + i, penalty);
+    }
+  }
+  return b.build();
+}
+
+SparseMatrix banded_spd(index_t n, index_t bandwidth) {
+  PARFACT_CHECK(n >= 1 && bandwidth >= 0);
+  TripletBuilder b(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    real_t diag = 0.1;
+    for (index_t i = j + 1; i <= std::min<index_t>(j + bandwidth, n - 1);
+         ++i) {
+      const real_t v = -1.0 / static_cast<real_t>(i - j);
+      b.add(i, j, v);
+      diag += std::abs(v);
+    }
+    // Entries above the diagonal mirror those below; count them into the
+    // diagonal for strict dominance.
+    for (index_t i = std::max<index_t>(0, j - bandwidth); i < j; ++i) {
+      diag += 1.0 / static_cast<real_t>(j - i);
+    }
+    b.add(j, j, diag + 1.0);
+  }
+  return b.build();
+}
+
+SparseMatrix random_spd(index_t n, index_t nnz_per_col, std::uint64_t seed) {
+  PARFACT_CHECK(n >= 1 && nnz_per_col >= 0);
+  Prng rng(seed);
+  // Collect a symmetric off-diagonal pattern, then make it SPD by dominance.
+  std::set<std::pair<index_t, index_t>> pattern;  // (i, j) with i > j
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < nnz_per_col; ++k) {
+      const index_t i = rng.next_index(n);
+      if (i == j) continue;
+      pattern.emplace(std::max(i, j), std::min(i, j));
+    }
+  }
+  std::vector<real_t> diag(static_cast<std::size_t>(n), 1.0);
+  TripletBuilder b(n, n);
+  for (const auto& [i, j] : pattern) {
+    const real_t v = rng.next_real(-1.0, 1.0);
+    b.add(i, j, v);
+    diag[i] += std::abs(v);
+    diag[j] += std::abs(v);
+  }
+  for (index_t j = 0; j < n; ++j) b.add(j, j, diag[j]);
+  return b.build();
+}
+
+SparseMatrix saddle_point_kkt(index_t n1, index_t n2,
+                              index_t couplings_per_row, std::uint64_t seed) {
+  PARFACT_CHECK(n1 >= 1 && n2 >= 1 && couplings_per_row >= 0);
+  Prng rng(seed);
+  const SparseMatrix k = random_spd(n1, 3, rng.next_u64());
+  const SparseMatrix m = random_spd(n2, 3, rng.next_u64());
+  TripletBuilder b(n1 + n2, n1 + n2);
+  for (index_t j = 0; j < n1; ++j) {
+    for (index_t p = k.col_ptr[j]; p < k.col_ptr[j + 1]; ++p) {
+      b.add(k.row_ind[p], j, k.values[p]);
+    }
+  }
+  for (index_t j = 0; j < n2; ++j) {
+    for (index_t p = m.col_ptr[j]; p < m.col_ptr[j + 1]; ++p) {
+      b.add(n1 + m.row_ind[p], n1 + j, -m.values[p]);
+    }
+  }
+  // B block: rows n1..n1+n2, cols 0..n1 (already in the lower triangle).
+  for (index_t i = 0; i < n2; ++i) {
+    for (index_t c = 0; c < couplings_per_row; ++c) {
+      b.add(n1 + i, rng.next_index(n1), rng.next_real(-1.0, 1.0));
+    }
+  }
+  return b.build();
+}
+
+std::vector<TestProblem> test_suite(double scale) {
+  PARFACT_CHECK(scale > 0.0 && scale <= 1.0);
+  const auto s = [scale](index_t full) {
+    return std::max<index_t>(3, static_cast<index_t>(std::lround(
+                                    static_cast<double>(full) * scale)));
+  };
+  std::vector<TestProblem> suite;
+  suite.push_back({"GRID2D-511",
+                   "511x511 5-point 2-D Laplacian (model problem)",
+                   grid_laplacian_2d(s(511), s(511), 5)});
+  suite.push_back({"GRID2D9-365",
+                   "365x365 9-point 2-D Laplacian",
+                   grid_laplacian_2d(s(365), s(365), 9)});
+  suite.push_back({"GRID3D-48", "48^3 7-point 3-D Laplacian",
+                   grid_laplacian_3d(s(48), s(48), s(48), 7)});
+  suite.push_back({"GRID3D27-32", "32^3 27-point 3-D Laplacian",
+                   grid_laplacian_3d(s(32), s(32), s(32), 27)});
+  suite.push_back({"ELAST-20",
+                   "20^3-element hexahedral linear elasticity, 3 dof/node",
+                   elasticity_3d(s(20), s(20), s(20))});
+  return suite;
+}
+
+}  // namespace parfact

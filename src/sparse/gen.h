@@ -1,0 +1,74 @@
+// Generators for the test-matrix suite.
+//
+// The SC'09 evaluation used large SPD matrices from 3-D finite-element
+// applications (structural mechanics, sheet-metal forming). Those industrial
+// matrices are proprietary, so per the substitution rule we generate matrices
+// of the same structural class: 2-D/3-D grid Laplacians (the classic model
+// problems) and genuine trilinear-hexahedral linear-elasticity stiffness
+// matrices (3 dof per node, assembled with Gauss quadrature), which have the
+// dense-node-coupling profile that drives the paper's fill and flop counts.
+//
+// All generators return *lower-triangle-stored* SPD matrices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// 2-D grid Laplacian on an nx-by-ny grid.
+/// stencil 5: classic 5-point (-1 neighbors, +4 diagonal).
+/// stencil 9: 9-point (corner neighbors -1, diagonal +8).
+[[nodiscard]] SparseMatrix grid_laplacian_2d(index_t nx, index_t ny,
+                                             int stencil = 5);
+
+/// 3-D grid Laplacian on an nx-by-ny-by-nz grid.
+/// stencil 7: 7-point. stencil 27: full 27-point box stencil.
+[[nodiscard]] SparseMatrix grid_laplacian_3d(index_t nx, index_t ny,
+                                             index_t nz, int stencil = 7);
+
+/// Linear-elasticity stiffness matrix for a box of nx*ny*nz 8-node hexahedral
+/// elements ((nx+1)(ny+1)(nz+1) nodes, 3 dof each). Isotropic material with
+/// Young's modulus E and Poisson ratio nu; element stiffness integrated with
+/// 2x2x2 Gauss quadrature. The z=0 face is clamped (Dirichlet) by adding a
+/// large diagonal penalty, which keeps the matrix SPD without renumbering.
+[[nodiscard]] SparseMatrix elasticity_3d(index_t nx, index_t ny, index_t nz,
+                                         real_t e_modulus = 1.0,
+                                         real_t nu = 0.3);
+
+/// Banded SPD matrix of dimension n and half-bandwidth b: A = tridiag-like
+/// with entries decaying away from the diagonal, strictly diagonally dominant.
+[[nodiscard]] SparseMatrix banded_spd(index_t n, index_t bandwidth);
+
+/// Random sparse SPD matrix: ~`nnz_per_col` off-diagonal entries per column
+/// placed uniformly, symmetric, made SPD by strict diagonal dominance.
+[[nodiscard]] SparseMatrix random_spd(index_t n, index_t nnz_per_col,
+                                      std::uint64_t seed);
+
+/// Symmetric quasi-definite KKT (saddle-point) matrix
+///   [ K   Bᵀ ]
+///   [ B  -M  ]
+/// with K (n1 x n1) and M (n2 x n2) SPD and B random sparse — the classic
+/// indefinite-but-strongly-factorizable system that exercises the LDLᵀ
+/// path (no pivoting needed). Lower-triangle stored.
+[[nodiscard]] SparseMatrix saddle_point_kkt(index_t n1, index_t n2,
+                                            index_t couplings_per_row,
+                                            std::uint64_t seed);
+
+/// A named test problem of the T1 suite.
+struct TestProblem {
+  std::string name;        ///< e.g. "GRID3D-48"
+  std::string description; ///< human-readable provenance
+  SparseMatrix lower;      ///< lower-triangle-stored SPD matrix
+};
+
+/// The T1 matrix suite used by every experiment (see DESIGN.md §4).
+/// `scale` <= 1.0 shrinks the grid dimensions proportionally, which the unit
+/// and smoke tests use to keep runtimes bounded.
+[[nodiscard]] std::vector<TestProblem> test_suite(double scale = 1.0);
+
+}  // namespace parfact

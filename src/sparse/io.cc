@@ -1,0 +1,103 @@
+#include "sparse/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace parfact {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+MatrixMarketData read_matrix_market(std::istream& in) {
+  std::string line;
+  PARFACT_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PARFACT_CHECK_MSG(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  PARFACT_CHECK_MSG(lower(object) == "matrix", "unsupported object: " << object);
+  PARFACT_CHECK_MSG(lower(format) == "coordinate",
+                    "only coordinate format is supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  PARFACT_CHECK_MSG(field == "real" || field == "pattern" ||
+                        field == "integer",
+                    "unsupported field: " << field);
+  PARFACT_CHECK_MSG(symmetry == "general" || symmetry == "symmetric",
+                    "unsupported symmetry: " << symmetry);
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  size_line >> rows >> cols >> entries;
+  PARFACT_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+                    "bad size line: " << line);
+
+  TripletBuilder b(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  for (long long k = 0; k < entries; ++k) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    in >> i >> j;
+    if (!pattern) in >> v;
+    PARFACT_CHECK_MSG(in, "truncated entry list at entry " << k);
+    PARFACT_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                      "entry out of range: " << i << " " << j);
+    index_t ii = static_cast<index_t>(i - 1);
+    index_t jj = static_cast<index_t>(j - 1);
+    if (symmetric) {
+      // Normalize to lower storage regardless of which triangle the file used.
+      if (ii < jj) std::swap(ii, jj);
+    }
+    b.add(ii, jj, v);
+  }
+  return MatrixMarketData{b.build(), symmetric};
+}
+
+MatrixMarketData read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PARFACT_CHECK_MSG(in, "cannot open " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const SparseMatrix& a,
+                         bool symmetric) {
+  out << "%%MatrixMarket matrix coordinate real "
+      << (symmetric ? "symmetric" : "general") << "\n";
+  out << a.rows << " " << a.cols << " " << a.nnz() << "\n";
+  out.precision(17);
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (symmetric) {
+        PARFACT_CHECK_MSG(a.row_ind[p] >= j,
+                          "symmetric write requires lower-stored input");
+      }
+      out << (a.row_ind[p] + 1) << " " << (j + 1) << " " << a.values[p]
+          << "\n";
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const SparseMatrix& a,
+                              bool symmetric) {
+  std::ofstream out(path);
+  PARFACT_CHECK_MSG(out, "cannot open " << path << " for writing");
+  write_matrix_market(out, a, symmetric);
+  PARFACT_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+}  // namespace parfact

@@ -1,0 +1,35 @@
+// Matrix Market (coordinate format) I/O.
+//
+// Supports `matrix coordinate real {general|symmetric}` and
+// `matrix coordinate pattern {general|symmetric}` (pattern entries get value
+// 1.0). Symmetric files are returned lower-triangle-stored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/sparse_matrix.h"
+
+namespace parfact {
+
+/// Parsed Matrix Market content.
+struct MatrixMarketData {
+  SparseMatrix matrix;    ///< lower-stored if `symmetric`, else full
+  bool symmetric = false;
+};
+
+/// Reads a Matrix Market stream. Throws parfact::Error on malformed input.
+[[nodiscard]] MatrixMarketData read_matrix_market(std::istream& in);
+
+/// Reads a Matrix Market file by path.
+[[nodiscard]] MatrixMarketData read_matrix_market_file(const std::string& path);
+
+/// Writes in coordinate-real format; writes a `symmetric` header when asked,
+/// in which case `a` must be lower-triangle-stored.
+void write_matrix_market(std::ostream& out, const SparseMatrix& a,
+                         bool symmetric);
+
+void write_matrix_market_file(const std::string& path, const SparseMatrix& a,
+                              bool symmetric);
+
+}  // namespace parfact

@@ -1,0 +1,79 @@
+#include "sparse/sparse_matrix.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace parfact {
+
+void SparseMatrix::validate() const {
+  PARFACT_CHECK(rows >= 0 && cols >= 0);
+  PARFACT_CHECK(col_ptr.size() == static_cast<std::size_t>(cols) + 1);
+  PARFACT_CHECK(col_ptr.front() == 0);
+  PARFACT_CHECK(row_ind.size() == static_cast<std::size_t>(col_ptr.back()));
+  PARFACT_CHECK(values.size() == row_ind.size());
+  for (index_t j = 0; j < cols; ++j) {
+    PARFACT_CHECK_MSG(col_ptr[j] <= col_ptr[j + 1],
+                      "col_ptr not monotone at column " << j);
+    for (index_t p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      PARFACT_CHECK_MSG(row_ind[p] >= 0 && row_ind[p] < rows,
+                        "row index out of range in column " << j);
+      if (p > col_ptr[j]) {
+        PARFACT_CHECK_MSG(row_ind[p - 1] < row_ind[p],
+                          "rows not strictly increasing in column " << j);
+      }
+    }
+  }
+}
+
+real_t SparseMatrix::at(index_t i, index_t j) const {
+  PARFACT_CHECK(i >= 0 && i < rows && j >= 0 && j < cols);
+  const auto begin = row_ind.begin() + col_ptr[j];
+  const auto end = row_ind.begin() + col_ptr[j + 1];
+  const auto it = std::lower_bound(begin, end, i);
+  if (it == end || *it != i) return 0.0;
+  return values[static_cast<std::size_t>(it - row_ind.begin())];
+}
+
+SparseMatrix TripletBuilder::build(bool drop_zeros) const {
+  // Counting sort by column, then sort each column's rows and fold duplicates.
+  SparseMatrix a(rows_, cols_);
+  std::vector<index_t> count(static_cast<std::size_t>(cols_) + 1, 0);
+  for (const Entry& e : entries_) ++count[static_cast<std::size_t>(e.col) + 1];
+  for (index_t j = 0; j < cols_; ++j) count[j + 1] += count[j];
+
+  std::vector<index_t> row(entries_.size());
+  std::vector<real_t> val(entries_.size());
+  {
+    std::vector<index_t> next(count.begin(), count.end() - 1);
+    for (const Entry& e : entries_) {
+      const index_t p = next[e.col]++;
+      row[p] = e.row;
+      val[p] = e.value;
+    }
+  }
+
+  a.row_ind.reserve(entries_.size());
+  a.values.reserve(entries_.size());
+  std::vector<index_t> perm;
+  for (index_t j = 0; j < cols_; ++j) {
+    const index_t lo = count[j];
+    const index_t hi = count[j + 1];
+    perm.resize(static_cast<std::size_t>(hi - lo));
+    for (index_t k = 0; k < hi - lo; ++k) perm[k] = lo + k;
+    std::sort(perm.begin(), perm.end(),
+              [&](index_t x, index_t y) { return row[x] < row[y]; });
+    index_t k = 0;
+    while (k < hi - lo) {
+      const index_t r = row[perm[k]];
+      real_t sum = 0.0;
+      while (k < hi - lo && row[perm[k]] == r) sum += val[perm[k++]];
+      if (drop_zeros && sum == 0.0) continue;
+      a.row_ind.push_back(r);
+      a.values.push_back(sum);
+    }
+    a.col_ptr[j + 1] = static_cast<index_t>(a.row_ind.size());
+  }
+  return a;
+}
+
+}  // namespace parfact

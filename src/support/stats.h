@@ -1,0 +1,43 @@
+// Small statistics helpers used by load-balance and timing reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/error.h"
+
+namespace parfact {
+
+/// Summary of a sample: min / max / mean and the load-imbalance ratio
+/// max/mean that the parallel-mapping experiments report.
+struct SampleSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double total = 0.0;
+
+  /// max/mean; 1.0 means perfectly balanced. Defined as 1.0 for mean==0.
+  [[nodiscard]] double imbalance() const {
+    return mean > 0.0 ? max / mean : 1.0;
+  }
+};
+
+/// Summarizes a non-empty sample.
+template <typename T>
+SampleSummary summarize(const std::vector<T>& values) {
+  PARFACT_CHECK(!values.empty());
+  SampleSummary s;
+  s.min = static_cast<double>(values.front());
+  s.max = s.min;
+  for (const T& v : values) {
+    const double x = static_cast<double>(v);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    s.total += x;
+  }
+  s.mean = s.total / static_cast<double>(values.size());
+  return s;
+}
+
+}  // namespace parfact

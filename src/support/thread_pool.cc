@@ -1,0 +1,87 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parfact {
+
+ThreadPool::ThreadPool(int n_threads) {
+  PARFACT_CHECK(n_threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(n_threads));
+  for (int i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PARFACT_CHECK_MSG(!shutting_down_, "submit() after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, index_t begin, index_t end,
+                  const std::function<void(index_t)>& body) {
+  if (begin >= end) return;
+  const index_t n = end - begin;
+  const index_t chunks = std::min<index_t>(n, static_cast<index_t>(pool.size()));
+  const index_t chunk = (n + chunks - 1) / chunks;
+  for (index_t c = 0; c < chunks; ++c) {
+    const index_t lo = begin + c * chunk;
+    const index_t hi = std::min<index_t>(lo + chunk, end);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &body] {
+      for (index_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace parfact

@@ -1,0 +1,58 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// The shared-memory factorization path and the mpsim runtime both need
+// structured concurrency; this pool provides it without any global state.
+// All exceptions thrown by tasks are captured and rethrown on wait().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// Fixed pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `n_threads` workers (at least 1).
+  explicit ThreadPool(int n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished. Rethrows the first
+  /// exception raised by any task (subsequent ones are dropped).
+  void wait();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool, splitting the range
+/// into contiguous chunks (one per worker by default). Blocks until done.
+void parallel_for(ThreadPool& pool, index_t begin, index_t end,
+                  const std::function<void(index_t)>& body);
+
+}  // namespace parfact

@@ -1,0 +1,25 @@
+// Wall-clock timing utilities.
+#pragma once
+
+#include <chrono>
+
+namespace parfact {
+
+/// Monotonic wall-clock timer. Construction starts it; `seconds()` reads the
+/// elapsed time without stopping; `restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parfact

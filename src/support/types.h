@@ -1,0 +1,29 @@
+// Fundamental scalar and index types used throughout parfact.
+//
+// The solver uses 32-bit indices for matrix dimensions and structure arrays
+// (a matrix with more than 2^31-1 rows is out of scope for this library) and
+// 64-bit integers for anything that can exceed that range: nonzero counts of
+// the factor, flop counts, byte counts, and virtual-time quantities.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace parfact {
+
+/// Row/column index and structure-array offset type for the *input* matrix.
+using index_t = std::int32_t;
+
+/// Wide type for nnz(L), flop counts, byte counts and similar accumulators.
+using count_t = std::int64_t;
+
+/// Numeric scalar. The paper's solver is a double-precision solver.
+using real_t = double;
+
+/// Sentinel used in parent/ancestor arrays ("no parent", "unassigned", ...).
+inline constexpr index_t kNone = -1;
+
+/// Largest representable index; used as "+infinity" in degree computations.
+inline constexpr index_t kIndexMax = std::numeric_limits<index_t>::max();
+
+}  // namespace parfact

@@ -1,0 +1,186 @@
+#include "symbolic/etree.h"
+
+#include <algorithm>
+
+#include "sparse/ops.h"
+#include "support/error.h"
+
+namespace parfact {
+
+std::vector<index_t> elimination_tree(const SparseMatrix& lower) {
+  PARFACT_CHECK(lower.rows == lower.cols);
+  const index_t n = lower.cols;
+  std::vector<index_t> parent(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), kNone);
+  // Liu's algorithm requires visiting rows in increasing order with all of
+  // each row's entries together; the lower-stored CSC input enumerates by
+  // column, so build a CSR view of the strict lower triangle first.
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = lower.col_ptr[j]; p < lower.col_ptr[j + 1]; ++p) {
+      if (lower.row_ind[p] > j) ++row_ptr[lower.row_ind[p] + 1];
+    }
+  }
+  for (index_t i = 0; i < n; ++i) row_ptr[i + 1] += row_ptr[i];
+  std::vector<index_t> row_cols(static_cast<std::size_t>(row_ptr.back()));
+  {
+    std::vector<index_t> next_slot(row_ptr.begin(), row_ptr.end() - 1);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t p = lower.col_ptr[j]; p < lower.col_ptr[j + 1]; ++p) {
+        if (lower.row_ind[p] > j) row_cols[next_slot[lower.row_ind[p]]++] = j;
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      // Walk from column k up the partially built tree toward i,
+      // compressing paths as we go.
+      index_t k = row_cols[p];
+      while (k != kNone && k < i) {
+        const index_t next = ancestor[k];
+        ancestor[k] = i;  // path compression
+        if (next == kNone) {
+          parent[k] = i;
+          break;
+        }
+        k = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> tree_postorder(const std::vector<index_t>& parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  // Build child lists (ordered by child index for determinism).
+  std::vector<index_t> head(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> next(static_cast<std::size_t>(n), kNone);
+  for (index_t j = n - 1; j >= 0; --j) {
+    const index_t p = parent[j];
+    if (p != kNone) {
+      PARFACT_CHECK(p >= 0 && p < n && p != j);
+      next[j] = head[p];
+      head[p] = j;
+    }
+  }
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t root = 0; root < n; ++root) {
+    if (parent[root] != kNone) continue;
+    // Iterative DFS emitting nodes in postorder.
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[v];
+      if (child == kNone) {
+        post.push_back(v);
+        stack.pop_back();
+      } else {
+        head[v] = next[child];  // consume the child edge
+        stack.push_back(child);
+      }
+    }
+  }
+  PARFACT_CHECK_MSG(post.size() == static_cast<std::size_t>(n),
+                    "parent array contains a cycle");
+  return post;
+}
+
+bool is_postordered(const std::vector<index_t>& parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  const std::vector<index_t> size = subtree_sizes(parent);
+  for (index_t j = 0; j < n; ++j) {
+    if (parent[j] == kNone) continue;
+    if (parent[j] <= j) return false;
+  }
+  // In a postorder, node j's subtree occupies [j - size + 1, j].
+  for (index_t j = 0; j < n; ++j) {
+    const index_t lo = j - size[j] + 1;
+    if (lo < 0) return false;
+    // Every node in [lo, j) must have its parent inside (lo, j].
+    // It suffices to check direct containment of children ranges, which the
+    // parent check plus size consistency gives: verify parent of j-size+k
+    // stays within the range for k < size.
+    for (index_t v = lo; v < j; ++v) {
+      if (parent[v] == kNone || parent[v] > j) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<index_t> relabel_tree(const std::vector<index_t>& parent,
+                                  const std::vector<index_t>& perm) {
+  PARFACT_CHECK(perm.size() == parent.size());
+  const std::vector<index_t> inv = invert_permutation(perm);
+  std::vector<index_t> out(parent.size(), kNone);
+  for (std::size_t new_j = 0; new_j < parent.size(); ++new_j) {
+    const index_t old_j = perm[new_j];
+    const index_t old_p = parent[old_j];
+    out[new_j] = old_p == kNone ? kNone : inv[old_p];
+  }
+  return out;
+}
+
+std::vector<index_t> cholesky_col_counts(const SparseMatrix& lower,
+                                         const std::vector<index_t>& parent) {
+  const index_t n = lower.cols;
+  PARFACT_CHECK(parent.size() == static_cast<std::size_t>(n));
+  std::vector<index_t> count(static_cast<std::size_t>(n), 1);  // diagonal
+  std::vector<index_t> mark(static_cast<std::size_t>(n), kNone);
+  // Row subtree traversal: L(i, j) != 0 iff j is on a path from some k with
+  // A(i, k) != 0 (k < i) up the etree toward i. Walk each such path until a
+  // node already marked for row i.
+  // Need row access: lower-stored CSC column k lists entries (i, k), i >= k,
+  // i.e. walking columns enumerates rows out of order — that is fine, the
+  // algorithm only needs, for each row i, the set of columns k with
+  // A(i,k) != 0. Gather them via the transpose-free trick: process entries
+  // column by column but mark per row. To keep O(n) memory we iterate rows
+  // via an explicit CSR copy of the strict lower triangle.
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t p = lower.col_ptr[k]; p < lower.col_ptr[k + 1]; ++p) {
+      if (lower.row_ind[p] > k) ++row_ptr[lower.row_ind[p] + 1];
+    }
+  }
+  for (index_t i = 0; i < n; ++i) row_ptr[i + 1] += row_ptr[i];
+  std::vector<index_t> row_cols(static_cast<std::size_t>(row_ptr.back()));
+  {
+    std::vector<index_t> nxt(row_ptr.begin(), row_ptr.end() - 1);
+    for (index_t k = 0; k < n; ++k) {
+      for (index_t p = lower.col_ptr[k]; p < lower.col_ptr[k + 1]; ++p) {
+        if (lower.row_ind[p] > k) row_cols[nxt[lower.row_ind[p]]++] = k;
+      }
+    }
+  }
+  std::fill(mark.begin(), mark.end(), kNone);
+  for (index_t i = 0; i < n; ++i) {
+    mark[i] = i;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      index_t j = row_cols[p];
+      while (j != kNone && j < i && mark[j] != i) {
+        ++count[j];
+        mark[j] = i;
+        j = parent[j];
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<index_t> subtree_sizes(const std::vector<index_t>& parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  std::vector<index_t> size(static_cast<std::size_t>(n), 1);
+  // Requires only that parent[j] != j; accumulate children into parents in
+  // an order that visits every node before its ancestors. For a postordered
+  // tree a single forward sweep works; for general forests, sweep by
+  // repeatedly following parents is wrong, so do it properly with a DFS.
+  const std::vector<index_t> post = tree_postorder(parent);
+  for (index_t k = 0; k < n; ++k) {
+    const index_t v = post[k];
+    if (parent[v] != kNone) size[parent[v]] += size[v];
+  }
+  return size;
+}
+
+}  // namespace parfact

@@ -1,0 +1,45 @@
+// Elimination tree, postorder and column counts for sparse Cholesky.
+//
+// All functions take a *lower-triangle-stored* symmetric matrix pattern.
+// The elimination tree (Liu) has parent[j] = min { i > j : L(i,j) != 0 };
+// it is the skeleton of every later phase: postordering makes supernodes
+// contiguous, column counts size the factor, and the supernodal version of
+// the tree (the assembly tree) is the parallel task graph.
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse_matrix.h"
+#include "support/types.h"
+
+namespace parfact {
+
+/// Elimination tree of the Cholesky factor of `lower`. parent[j] = kNone for
+/// roots. O(nnz * alpha) via path compression.
+[[nodiscard]] std::vector<index_t> elimination_tree(const SparseMatrix& lower);
+
+/// Postorder of a forest given by `parent` (children visited before parents,
+/// each subtree contiguous). Returns perm with perm[new] = old.
+[[nodiscard]] std::vector<index_t> tree_postorder(
+    const std::vector<index_t>& parent);
+
+/// True iff `parent` is already postordered: parent[j] > j for all non-roots
+/// and each subtree occupies a contiguous index range.
+[[nodiscard]] bool is_postordered(const std::vector<index_t>& parent);
+
+/// Relabels a forest under a permutation of its vertices: the returned
+/// forest satisfies new_parent[inv[j]] = inv[parent[j]].
+[[nodiscard]] std::vector<index_t> relabel_tree(
+    const std::vector<index_t>& parent, const std::vector<index_t>& perm);
+
+/// Column counts of the Cholesky factor: counts[j] = nnz(L(:,j)) including
+/// the diagonal. Works for any consistent etree (postorder not required).
+/// O(nnz(L)) time via row-subtree traversal, O(n + nnz) extra space.
+[[nodiscard]] std::vector<index_t> cholesky_col_counts(
+    const SparseMatrix& lower, const std::vector<index_t>& parent);
+
+/// Number of nodes in each subtree (node itself included).
+[[nodiscard]] std::vector<index_t> subtree_sizes(
+    const std::vector<index_t>& parent);
+
+}  // namespace parfact

@@ -1,0 +1,220 @@
+// Tests for the mpsim message-passing machine: point-to-point semantics,
+// collectives, virtual-time accounting, determinism, failure propagation.
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mpsim/machine.h"
+#include "support/error.h"
+
+namespace parfact::mpsim {
+namespace {
+
+TEST(Mpsim, SingleRankRuns) {
+  const RunStats s = run_spmd(1, {}, [](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.advance_compute(1000);
+  });
+  EXPECT_GT(s.makespan, 0.0);
+  EXPECT_EQ(s.total_messages, 0);
+}
+
+TEST(Mpsim, PingPong) {
+  const RunStats s = run_spmd(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> payload{1.0, 2.0, 3.0};
+      c.send_vec(1, /*tag=*/7, payload);
+      const auto back = c.recv_vec<double>(1, 8);
+      ASSERT_EQ(back.size(), 3u);
+      EXPECT_DOUBLE_EQ(back[2], 6.0);
+    } else {
+      auto v = c.recv_vec<double>(0, 7);
+      for (auto& x : v) x *= 2.0;
+      c.send_vec(0, 8, v);
+    }
+  });
+  EXPECT_EQ(s.total_messages, 2);
+  EXPECT_EQ(s.total_bytes, 2 * 3 * 8);
+  // Two messages' latency must appear in the makespan.
+  EXPECT_GE(s.makespan, 2 * MachineModel{}.alpha);
+}
+
+TEST(Mpsim, FifoOrderPerSourceAndTag) {
+  run_spmd(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int k = 0; k < 10; ++k) {
+        std::vector<int> v{k};
+        c.send_vec(1, 3, v);
+      }
+    } else {
+      for (int k = 0; k < 10; ++k) {
+        const auto v = c.recv_vec<int>(0, 3);
+        ASSERT_EQ(v[0], k);
+      }
+    }
+  });
+}
+
+TEST(Mpsim, TagsAreIndependentChannels) {
+  run_spmd(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> a{1}, b{2};
+      c.send_vec(1, 100, a);
+      c.send_vec(1, 200, b);
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(c.recv_vec<int>(0, 200)[0], 2);
+      EXPECT_EQ(c.recv_vec<int>(0, 100)[0], 1);
+    }
+  });
+}
+
+TEST(Mpsim, RecvWaitsForVirtualArrival) {
+  const MachineModel model{};
+  run_spmd(2, model, [&model](Comm& c) {
+    if (c.rank() == 0) {
+      c.advance_compute(2'000'000'000);  // 1 virtual second of work
+      std::vector<int> v{42};
+      c.send_vec(1, 1, v);
+    } else {
+      const auto v = c.recv_vec<int>(0, 1);
+      EXPECT_EQ(v[0], 42);
+      // The receiver's clock must include the sender's compute second.
+      EXPECT_GE(c.now(), 1.0);
+    }
+  });
+}
+
+TEST(Mpsim, SenderClockOnlyPaysAlpha) {
+  run_spmd(2, {}, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> big(1 << 20);
+      c.send(1, 5, big.data(), big.size());
+      // Buffered send: clock advances by alpha only, not the transfer time.
+      EXPECT_LT(c.now(), 1e-4);
+    } else {
+      (void)c.recv(0, 5);
+      EXPECT_GT(c.now(), 1e-3);  // ~1 MB at 1 GB/s
+    }
+  });
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, AllreduceSumAndMax) {
+  const int p = GetParam();
+  run_spmd(p, {}, [p](Comm& c) {
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    const double mx = c.allreduce_max(static_cast<double>(c.rank()));
+    EXPECT_DOUBLE_EQ(mx, p - 1.0);
+  });
+}
+
+TEST_P(CollectiveTest, BcastDeliversRootData) {
+  const int p = GetParam();
+  run_spmd(p, {}, [](Comm& c) {
+    const int root = c.size() - 1;
+    std::vector<std::byte> data;
+    if (c.rank() == root) {
+      data.resize(16);
+      std::memset(data.data(), 0xab, data.size());
+    }
+    c.bcast(root, &data);
+    ASSERT_EQ(data.size(), 16u);
+    EXPECT_EQ(std::to_integer<int>(data[7]), 0xab);
+  });
+}
+
+TEST_P(CollectiveTest, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  std::vector<double> clocks(static_cast<std::size_t>(p));
+  run_spmd(p, {}, [&clocks](Comm& c) {
+    // Rank r does r virtual milliseconds of work, then a barrier.
+    c.advance_seconds(1e-3 * c.rank());
+    c.barrier();
+    clocks[c.rank()] = c.now();
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(clocks[r], clocks[0], 1e-12);
+    EXPECT_GE(clocks[r], 1e-3 * (p - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CollectiveTest, ::testing::Values(1, 2, 3, 8,
+                                                                  16));
+
+TEST(Mpsim, VirtualTimeIsDeterministic) {
+  auto program = [](Comm& c) {
+    // A little irregular communication ring.
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    c.advance_compute(1000 * (c.rank() + 1));
+    std::vector<double> v{static_cast<double>(c.rank())};
+    c.send_vec(next, 9, v);
+    (void)c.recv_vec<double>(prev, 9);
+    (void)c.allreduce_sum(c.now());
+  };
+  const RunStats a = run_spmd(7, {}, program);
+  const RunStats b = run_spmd(7, {}, program);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.rank_time, b.rank_time);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+TEST(Mpsim, MemoryPeakTracking) {
+  const RunStats s = run_spmd(2, {}, [](Comm& c) {
+    c.memory_add(100);
+    c.memory_add(50);
+    c.memory_sub(120);
+    c.memory_add(10);
+    c.barrier();
+  });
+  EXPECT_EQ(s.rank_peak_bytes[0], 150);
+  EXPECT_EQ(s.rank_peak_bytes[1], 150);
+}
+
+TEST(Mpsim, ComputeTimeTracked) {
+  const RunStats s = run_spmd(1, {}, [](Comm& c) {
+    c.advance_compute(static_cast<count_t>(MachineModel{}.flop_rate));
+  });
+  EXPECT_NEAR(s.rank_compute[0], 1.0, 1e-9);
+}
+
+TEST(Mpsim, FailurePropagatesWithoutDeadlock) {
+  EXPECT_THROW(run_spmd(4,
+                        {},
+                        [](Comm& c) {
+                          if (c.rank() == 2) {
+                            throw Error("rank 2 exploded");
+                          }
+                          // Everyone else blocks on a message that never
+                          // comes; abort must wake them.
+                          (void)c.recv(3, 77);
+                        }),
+               Error);
+}
+
+TEST(Mpsim, ModelParametersShapeCosts) {
+  MachineModel fast{};
+  fast.beta = 1e-12;
+  MachineModel slow{};
+  slow.beta = 1e-6;
+  auto program = [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> big(1 << 20);
+      c.send(1, 1, big.data(), big.size());
+    } else {
+      (void)c.recv(0, 1);
+    }
+  };
+  const RunStats f = run_spmd(2, fast, program);
+  const RunStats s = run_spmd(2, slow, program);
+  EXPECT_GT(s.makespan, 100 * f.makespan);
+}
+
+}  // namespace
+}  // namespace parfact::mpsim

@@ -1,0 +1,153 @@
+// Tests for the block-level schedule replay (perf module): agreement with
+// the real mpsim execution at small P, sane scaling behaviour at large P.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/dist_factor.h"
+#include "dist/dist_solve.h"
+#include "api/solver.h"
+#include "perf/dag_sim.h"
+#include "sparse/gen.h"
+#include "support/prng.h"
+
+namespace parfact {
+namespace {
+
+class PerfAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerfAgreementTest, FactorTimeTracksMpsim) {
+  const int p = GetParam();
+  const SparseMatrix a = grid_laplacian_3d(10, 10, 10, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map = build_front_map(sym, p, MappingStrategy::kSubtree2d);
+  const mpsim::MachineModel model{};
+  const double real = distributed_factor(sym, map, model).run.makespan;
+  const double sim = simulate_factor_time(sym, map, model).makespan;
+  // The replay batches arrivals per block column, so it is an approximation;
+  // it must stay within a factor of ~2.5 of the executed schedule.
+  EXPECT_GT(sim, real / 2.5) << "p=" << p;
+  EXPECT_LT(sim, real * 2.5) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PerfAgreementTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Perf, SerialTimeEqualsComputeTime) {
+  const SparseMatrix a = grid_laplacian_2d(25, 25, 5);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map = build_front_map(sym, 1, MappingStrategy::kSubtree2d);
+  const PerfResult r = simulate_factor_time(sym, map, {});
+  EXPECT_EQ(r.total_messages, 0);
+  // Makespan = compute + local memory traffic; compute dominates.
+  EXPECT_GE(r.makespan, r.compute_total);
+  EXPECT_LT(r.makespan, r.compute_total * 1.5);
+}
+
+TEST(Perf, StrongScalingCurveIsSane) {
+  const SparseMatrix a = grid_laplacian_3d(14, 14, 14, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  double prev = 0.0;
+  std::vector<double> times;
+  for (int p : {1, 4, 16, 64, 256}) {
+    const FrontMap map = build_front_map(sym, p, MappingStrategy::kSubtree2d);
+    const PerfResult r = simulate_factor_time(sym, map, model);
+    times.push_back(r.makespan);
+    EXPECT_LE(r.efficiency(p), 1.0 + 1e-9) << "p=" << p;
+    prev = r.makespan;
+  }
+  (void)prev;
+  // Speedup must be substantial early and monotone-ish: t(16) << t(1).
+  EXPECT_LT(times[2], times[0] / 4.0);
+  // At very large p on this small matrix, time must stop improving much
+  // (saturation), i.e. t(256) > t(64) * 0.3.
+  EXPECT_GT(times[4], times[3] * 0.3);
+}
+
+TEST(Perf, TwoDBeatsOneDAtScale) {
+  const SparseMatrix a = grid_laplacian_3d(14, 14, 14, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  const int p = 256;
+  const double t2d = simulate_factor_time(
+      sym, build_front_map(sym, p, MappingStrategy::kSubtree2d), model)
+      .makespan;
+  const double t1d = simulate_factor_time(
+      sym, build_front_map(sym, p, MappingStrategy::kSubtree1d), model)
+      .makespan;
+  EXPECT_LT(t2d, t1d);
+}
+
+TEST(Perf, SubtreeBeatsFlatMapping) {
+  const SparseMatrix a = grid_laplacian_2d(60, 60, 5);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  const int p = 64;
+  const PerfResult sub = simulate_factor_time(
+      sym, build_front_map(sym, p, MappingStrategy::kSubtree2d), model);
+  const PerfResult flat = simulate_factor_time(
+      sym, build_front_map(sym, p, MappingStrategy::kFlat), model);
+  EXPECT_LT(sub.makespan, flat.makespan);
+  EXPECT_LT(sub.total_messages, flat.total_messages);
+}
+
+TEST(Perf, LargeRankCountRunsFast) {
+  const SparseMatrix a = grid_laplacian_3d(12, 12, 12, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map =
+      build_front_map(sym, 4096, MappingStrategy::kSubtree2d);
+  const PerfResult r = simulate_factor_time(sym, map, {});
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.total_messages, 0);
+}
+
+TEST(Perf, MemoryPerRankShrinks) {
+  const SparseMatrix a = grid_laplacian_3d(12, 12, 12, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const count_t m1 = simulate_factor_time(
+      sym, build_front_map(sym, 1, MappingStrategy::kSubtree2d), {})
+      .peak_rank_bytes;
+  const count_t m16 = simulate_factor_time(
+      sym, build_front_map(sym, 16, MappingStrategy::kSubtree2d), {})
+      .peak_rank_bytes;
+  const count_t m256 = simulate_factor_time(
+      sym, build_front_map(sym, 256, MappingStrategy::kSubtree2d), {})
+      .peak_rank_bytes;
+  EXPECT_LT(m16, m1);
+  EXPECT_LT(m256, m16);
+}
+
+TEST(Perf, SolveTimeScalesAndIsCheaperThanFactor) {
+  const SparseMatrix a = grid_laplacian_3d(12, 12, 12, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  const FrontMap m4 = build_front_map(sym, 4, MappingStrategy::kSubtree2d);
+  const PerfResult f = simulate_factor_time(sym, m4, model);
+  const PerfResult s1 = simulate_solve_time(sym, m4, model, 1);
+  EXPECT_LT(s1.makespan, f.makespan);
+  // More RHS => more solve work.
+  const PerfResult s16 = simulate_solve_time(sym, m4, model, 16);
+  EXPECT_GT(s16.makespan, s1.makespan);
+}
+
+TEST(Perf, SolveTimeTracksMpsim) {
+  const SparseMatrix a = grid_laplacian_3d(8, 8, 8, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  for (int p : {2, 8}) {
+    const FrontMap map = build_front_map(sym, p, MappingStrategy::kSubtree2d);
+    const auto dist = distributed_factor(sym, map, model);
+    Prng rng(1);
+    std::vector<real_t> b(static_cast<std::size_t>(sym.n));
+    for (auto& v : b) v = rng.next_real(-1, 1);
+    const double real =
+        distributed_solve(sym, map, dist.factor, b, 1, model).run.makespan;
+    const double sim = simulate_solve_time(sym, map, model, 1).makespan;
+    EXPECT_GT(sim, real / 4.0) << "p=" << p;
+    EXPECT_LT(sim, real * 4.0) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace parfact

@@ -1,0 +1,358 @@
+// Tests for the sparse module: containers, ops, generators, Matrix Market.
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sparse/gen.h"
+#include "sparse/io.h"
+#include "sparse/ops.h"
+#include "sparse/sparse_matrix.h"
+#include "support/prng.h"
+
+namespace parfact {
+namespace {
+
+SparseMatrix small_full() {
+  // [ 4 -1  0 ]
+  // [-1  4 -2 ]
+  // [ 0 -2  5 ]
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 4);
+  b.add(1, 1, 4);
+  b.add(2, 2, 5);
+  b.add_symmetric(1, 0, -1);
+  b.add_symmetric(2, 1, -2);
+  return b.build();
+}
+
+TEST(TripletBuilder, SumsDuplicates) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 0, -1.0);
+  const SparseMatrix a = b.build();
+  a.validate();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(TripletBuilder, DropZerosOnCancellation) {
+  TripletBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, -1.0);
+  b.add(1, 1, 2.0);
+  EXPECT_EQ(b.build(false).nnz(), 2);
+  EXPECT_EQ(b.build(true).nnz(), 1);
+}
+
+TEST(TripletBuilder, EmptyMatrix) {
+  TripletBuilder b(0, 0);
+  const SparseMatrix a = b.build();
+  a.validate();
+  EXPECT_EQ(a.nnz(), 0);
+}
+
+TEST(SparseMatrix, ValidateRejectsUnsortedRows) {
+  SparseMatrix a(2, 2);
+  a.col_ptr = {0, 2, 2};
+  a.row_ind = {1, 0};
+  a.values = {1.0, 2.0};
+  EXPECT_THROW(a.validate(), Error);
+}
+
+TEST(SparseMatrix, ValidateRejectsBadColPtr) {
+  SparseMatrix a(2, 2);
+  a.col_ptr = {0, 2, 1};
+  a.row_ind = {0, 1};
+  a.values = {1.0, 2.0};
+  EXPECT_THROW(a.validate(), Error);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Prng rng(3);
+  TripletBuilder b(7, 5);
+  for (int k = 0; k < 20; ++k) {
+    b.add(rng.next_index(7), rng.next_index(5), rng.next_real(-1, 1));
+  }
+  const SparseMatrix a = b.build();
+  const SparseMatrix tt = transpose(transpose(a));
+  tt.validate();
+  EXPECT_EQ(a.col_ptr, tt.col_ptr);
+  EXPECT_EQ(a.row_ind, tt.row_ind);
+  EXPECT_EQ(a.values, tt.values);
+}
+
+TEST(Ops, TransposeEntries) {
+  const SparseMatrix a = small_full();
+  const SparseMatrix t = transpose(a);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(a.at(i, j), t.at(j, i));
+  }
+}
+
+TEST(Ops, SymmetryCheck) {
+  EXPECT_TRUE(is_symmetric(small_full()));
+  TripletBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  EXPECT_FALSE(is_symmetric(b.build()));
+}
+
+TEST(Ops, LowerAndSymmetrizeRoundTrip) {
+  const SparseMatrix full = small_full();
+  const SparseMatrix low = lower_triangle(full);
+  low.validate();
+  EXPECT_EQ(low.nnz(), 5);
+  const SparseMatrix back = symmetrize_full(low);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(full.at(i, j), back.at(i, j));
+    }
+  }
+}
+
+TEST(Ops, SymmetrizeRejectsNonLowerInput) {
+  EXPECT_THROW(symmetrize_full(small_full()), Error);
+}
+
+TEST(Ops, PermuteSymmetric) {
+  const SparseMatrix a = small_full();
+  const std::vector<index_t> perm{2, 0, 1};  // new -> old
+  const SparseMatrix b = permute_symmetric(a, perm);
+  b.validate();
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(b.at(i, j), a.at(perm[i], perm[j]));
+    }
+  }
+}
+
+TEST(Ops, PermutationHelpers) {
+  const std::vector<index_t> perm{2, 0, 1};
+  EXPECT_TRUE(is_permutation(perm));
+  const std::vector<index_t> bad{0, 0, 1};
+  EXPECT_FALSE(is_permutation(bad));
+  const std::vector<index_t> inv = invert_permutation(perm);
+  for (index_t i = 0; i < 3; ++i) EXPECT_EQ(inv[perm[i]], i);
+}
+
+TEST(Ops, SpmvMatchesDense) {
+  const SparseMatrix a = small_full();
+  const std::vector<real_t> x{1.0, 2.0, -1.0};
+  std::vector<real_t> y(3);
+  spmv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4 * 1 - 1 * 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 * 1 + 4 * 2 - 2 * -1);
+  EXPECT_DOUBLE_EQ(y[2], -2 * 2 + 5 * -1);
+}
+
+TEST(Ops, SymmetricSpmvMatchesFullSpmv) {
+  const SparseMatrix full = grid_laplacian_2d(6, 5, 5);
+  const SparseMatrix fullsym = symmetrize_full(full);
+  Prng rng(11);
+  std::vector<real_t> x(static_cast<std::size_t>(full.rows));
+  for (auto& v : x) v = rng.next_real(-1, 1);
+  std::vector<real_t> y1(x.size()), y2(x.size());
+  spmv(fullsym, x, y1);
+  spmv_symmetric_lower(full, x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(Ops, Norms) {
+  const SparseMatrix a = small_full();
+  EXPECT_DOUBLE_EQ(norm_inf(a), 7.0);  // row 1: 1+4+2
+  EXPECT_NEAR(norm_frobenius(a),
+              std::sqrt(16 + 16 + 25 + 2 * 1 + 2 * 4.0), 1e-15);
+}
+
+TEST(Ops, VectorHelpers) {
+  const std::vector<real_t> x{1, 2, 3};
+  std::vector<real_t> y{1, 1, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y), 6.0);
+  EXPECT_DOUBLE_EQ(norm2(y), std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(norm_inf(std::span<const real_t>(x)), 3.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+// --- Generators -----------------------------------------------------------
+
+class GridGenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridGenTest, Laplacian2dStructure) {
+  const int stencil = GetParam();
+  const SparseMatrix a = grid_laplacian_2d(5, 4, stencil);
+  a.validate();
+  EXPECT_EQ(a.rows, 20);
+  const SparseMatrix full = symmetrize_full(a);
+  EXPECT_TRUE(is_symmetric(full));
+  // Interior node degree: 4 (5-pt) or 8 (9-pt) neighbors.
+  const index_t interior = 1 * 5 + 2;  // (x=2, y=1)
+  index_t deg = 0;
+  for (index_t p = full.col_ptr[interior]; p < full.col_ptr[interior + 1];
+       ++p) {
+    if (full.row_ind[p] != interior) ++deg;
+  }
+  EXPECT_EQ(deg, stencil == 5 ? 4 : 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stencils, GridGenTest, ::testing::Values(5, 9));
+
+TEST(Gen, Laplacian3dSizes) {
+  const SparseMatrix a7 = grid_laplacian_3d(4, 3, 2, 7);
+  a7.validate();
+  EXPECT_EQ(a7.rows, 24);
+  const SparseMatrix a27 = grid_laplacian_3d(3, 3, 3, 27);
+  a27.validate();
+  // Center node of 3^3 grid with 27-stencil couples to all other 26 nodes.
+  const SparseMatrix full = symmetrize_full(a27);
+  const index_t center = 13;
+  EXPECT_EQ(full.col_ptr[center + 1] - full.col_ptr[center], 27);
+}
+
+TEST(Gen, LaplaciansAreDiagonallyDominant) {
+  for (const SparseMatrix& a :
+       {grid_laplacian_2d(7, 7, 5), grid_laplacian_3d(4, 4, 4, 7)}) {
+    const SparseMatrix full = symmetrize_full(a);
+    for (index_t j = 0; j < full.cols; ++j) {
+      real_t diag = 0.0, off = 0.0;
+      for (index_t p = full.col_ptr[j]; p < full.col_ptr[j + 1]; ++p) {
+        if (full.row_ind[p] == j) {
+          diag = full.values[p];
+        } else {
+          off += std::abs(full.values[p]);
+        }
+      }
+      EXPECT_GT(diag, off);
+    }
+  }
+}
+
+TEST(Gen, ElasticityIsSymmetricWithExpectedSize) {
+  const SparseMatrix a = elasticity_3d(2, 2, 2);
+  a.validate();
+  EXPECT_EQ(a.rows, 3 * 27);
+  EXPECT_TRUE(is_symmetric(symmetrize_full(a), 1e-12));
+}
+
+TEST(Gen, ElasticityDiagonalPositive) {
+  const SparseMatrix a = elasticity_3d(2, 1, 1);
+  for (index_t j = 0; j < a.cols; ++j) EXPECT_GT(a.at(j, j), 0.0);
+}
+
+TEST(Gen, BandedSpd) {
+  const SparseMatrix a = banded_spd(20, 3);
+  a.validate();
+  EXPECT_EQ(a.rows, 20);
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      EXPECT_LE(a.row_ind[p] - j, 3);
+    }
+  }
+}
+
+TEST(Gen, RandomSpdIsDominant) {
+  const SparseMatrix a = random_spd(50, 4, 42);
+  a.validate();
+  const SparseMatrix full = symmetrize_full(a);
+  EXPECT_TRUE(is_symmetric(full, 1e-15));
+  for (index_t j = 0; j < full.cols; ++j) {
+    real_t diag = 0.0, off = 0.0;
+    for (index_t p = full.col_ptr[j]; p < full.col_ptr[j + 1]; ++p) {
+      if (full.row_ind[p] == j) {
+        diag = full.values[p];
+      } else {
+        off += std::abs(full.values[p]);
+      }
+    }
+    EXPECT_GT(diag, off);
+  }
+}
+
+TEST(Gen, RandomSpdDeterministicInSeed) {
+  const SparseMatrix a = random_spd(30, 3, 7);
+  const SparseMatrix b = random_spd(30, 3, 7);
+  EXPECT_EQ(a.row_ind, b.row_ind);
+  EXPECT_EQ(a.values, b.values);
+  const SparseMatrix c = random_spd(30, 3, 8);
+  EXPECT_NE(a.row_ind, c.row_ind);
+}
+
+TEST(Gen, TestSuiteScalesDown) {
+  const auto suite = test_suite(0.05);
+  EXPECT_EQ(suite.size(), 5u);
+  for (const auto& p : suite) {
+    p.lower.validate();
+    EXPECT_GT(p.lower.rows, 0);
+    EXPECT_FALSE(p.name.empty());
+  }
+}
+
+// --- Matrix Market ---------------------------------------------------------
+
+TEST(Io, RoundTripGeneral) {
+  Prng rng(4);
+  TripletBuilder b(6, 4);
+  for (int k = 0; k < 10; ++k) {
+    b.add(rng.next_index(6), rng.next_index(4), rng.next_real(-2, 2));
+  }
+  const SparseMatrix a = b.build();
+  std::stringstream ss;
+  write_matrix_market(ss, a, /*symmetric=*/false);
+  const MatrixMarketData d = read_matrix_market(ss);
+  EXPECT_FALSE(d.symmetric);
+  EXPECT_EQ(d.matrix.col_ptr, a.col_ptr);
+  EXPECT_EQ(d.matrix.row_ind, a.row_ind);
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.matrix.values[i], a.values[i]);
+  }
+}
+
+TEST(Io, RoundTripSymmetric) {
+  const SparseMatrix a = grid_laplacian_2d(4, 4, 5);
+  std::stringstream ss;
+  write_matrix_market(ss, a, /*symmetric=*/true);
+  const MatrixMarketData d = read_matrix_market(ss);
+  EXPECT_TRUE(d.symmetric);
+  EXPECT_EQ(d.matrix.row_ind, a.row_ind);
+}
+
+TEST(Io, ReadsPatternAndUpperSymmetric) {
+  // Upper-stored symmetric pattern file must normalize to lower storage.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 3\n"
+      "1 1\n"
+      "1 2\n"
+      "3 3\n");
+  const MatrixMarketData d = read_matrix_market(ss);
+  EXPECT_TRUE(d.symmetric);
+  EXPECT_DOUBLE_EQ(d.matrix.at(1, 0), 1.0);  // (1,2) mirrored to lower
+  EXPECT_DOUBLE_EQ(d.matrix.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.matrix.at(2, 2), 1.0);
+}
+
+TEST(Io, RejectsGarbage) {
+  std::stringstream ss("not a matrix market file\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(Io, RejectsOutOfRangeEntry) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(Io, SymmetricWriteRequiresLowerStorage) {
+  std::stringstream ss;
+  EXPECT_THROW(write_matrix_market(ss, small_full(), true), Error);
+}
+
+}  // namespace
+}  // namespace parfact

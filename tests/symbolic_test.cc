@@ -1,0 +1,286 @@
+// Tests for the symbolic module: etree, postorder, column counts, supernodes.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sparse/gen.h"
+#include "sparse/ops.h"
+#include "support/prng.h"
+#include "symbolic/etree.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+namespace {
+
+// Dense boolean right-looking Cholesky: the reference for factor patterns.
+std::vector<std::vector<bool>> reference_factor_pattern(
+    const SparseMatrix& lower) {
+  const index_t n = lower.rows;
+  std::vector<std::vector<bool>> b(
+      static_cast<std::size_t>(n),
+      std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = lower.col_ptr[j]; p < lower.col_ptr[j + 1]; ++p) {
+      b[lower.row_ind[p]][j] = true;
+    }
+  }
+  for (index_t k = 0; k < n; ++k) {
+    for (index_t i = k + 1; i < n; ++i) {
+      if (!b[i][k]) continue;
+      for (index_t j = k + 1; j <= i; ++j) {
+        if (b[j][k]) b[i][j] = true;
+      }
+    }
+  }
+  return b;
+}
+
+std::vector<index_t> reference_col_counts(const SparseMatrix& lower) {
+  const auto b = reference_factor_pattern(lower);
+  const index_t n = lower.rows;
+  std::vector<index_t> counts(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j; i < n; ++i) counts[j] += b[i][j];
+  }
+  return counts;
+}
+
+std::vector<index_t> reference_etree(const SparseMatrix& lower) {
+  const auto b = reference_factor_pattern(lower);
+  const index_t n = lower.rows;
+  std::vector<index_t> parent(static_cast<std::size_t>(n), kNone);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      if (b[i][j]) {
+        parent[j] = i;
+        break;
+      }
+    }
+  }
+  return parent;
+}
+
+TEST(Etree, TridiagonalIsAPath) {
+  const SparseMatrix a = banded_spd(6, 1);
+  const auto parent = elimination_tree(a);
+  for (index_t j = 0; j < 5; ++j) EXPECT_EQ(parent[j], j + 1);
+  EXPECT_EQ(parent[5], kNone);
+}
+
+TEST(Etree, ArrowheadIsAStarToLastColumn) {
+  // Arrowhead with dense last row: every column's parent is n-1 directly.
+  const index_t n = 7;
+  TripletBuilder b(n, n);
+  for (index_t j = 0; j < n; ++j) b.add(j, j, 4.0);
+  for (index_t j = 0; j + 1 < n; ++j) b.add(n - 1, j, -1.0);
+  const auto parent = elimination_tree(b.build());
+  for (index_t j = 0; j + 1 < n; ++j) EXPECT_EQ(parent[j], n - 1);
+  EXPECT_EQ(parent[n - 1], kNone);
+}
+
+TEST(Etree, MatchesReferenceOnRandomMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const SparseMatrix a = random_spd(40, 3, seed);
+    EXPECT_EQ(elimination_tree(a), reference_etree(a)) << "seed " << seed;
+  }
+}
+
+TEST(Etree, PostorderOfPathIsIdentity) {
+  std::vector<index_t> parent{1, 2, 3, kNone};
+  const auto post = tree_postorder(parent);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(post[i], i);
+  EXPECT_TRUE(is_postordered(parent));
+}
+
+TEST(Etree, PostorderMakesTreePostordered) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const SparseMatrix a = random_spd(60, 2, seed);
+    const auto parent = elimination_tree(a);
+    const auto post = tree_postorder(parent);
+    EXPECT_TRUE(is_permutation(post));
+    const auto relabeled = relabel_tree(parent, post);
+    EXPECT_TRUE(is_postordered(relabeled)) << "seed " << seed;
+  }
+}
+
+TEST(Etree, IsPostorderedRejectsBadTrees) {
+  EXPECT_FALSE(is_postordered({2, kNone, 1}));         // parent below child
+  EXPECT_FALSE(is_postordered({3, kNone, 3, kNone}));  // gap in 3's subtree
+  EXPECT_TRUE(is_postordered({kNone, 3, 3, kNone}));   // root-first is fine
+}
+
+TEST(Etree, SubtreeSizes) {
+  // Tree: 0->2, 1->2, 2->4, 3->4.
+  const std::vector<index_t> parent{2, 2, 4, 4, kNone};
+  const auto size = subtree_sizes(parent);
+  EXPECT_EQ(size[0], 1);
+  EXPECT_EQ(size[2], 3);
+  EXPECT_EQ(size[4], 5);
+}
+
+TEST(Etree, ColCountsMatchReference) {
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    const SparseMatrix a = random_spd(50, 3, seed);
+    const auto parent = elimination_tree(a);
+    EXPECT_EQ(cholesky_col_counts(a, parent), reference_col_counts(a))
+        << "seed " << seed;
+  }
+}
+
+TEST(Etree, ColCountsOnGrid) {
+  const SparseMatrix a = grid_laplacian_2d(6, 6, 5);
+  const auto parent = elimination_tree(a);
+  EXPECT_EQ(cholesky_col_counts(a, parent), reference_col_counts(a));
+}
+
+TEST(Flops, DenseCholeskyCount) {
+  // For a full factorization (panel == front == m), the count must match a
+  // direct simulation of the kij algorithm.
+  for (index_t m : {1, 2, 3, 5, 10, 37}) {
+    count_t expect = 0;
+    for (index_t k = 0; k < m; ++k) {
+      const count_t below = m - k - 1;
+      expect += 1 + below + below * (below + 1);
+    }
+    EXPECT_EQ(partial_cholesky_flops(m, m), expect);
+  }
+  // Leading-order: ~ m^3 / 3 multiply-adds counted as 2 flops -> 2m^3/6.
+  const double f = static_cast<double>(partial_cholesky_flops(300, 300));
+  EXPECT_NEAR(f / (300.0 * 300.0 * 300.0), 1.0 / 3.0, 0.02);
+}
+
+TEST(Flops, PartialIsMonotoneInPanel) {
+  for (index_t p = 1; p <= 20; ++p) {
+    EXPECT_GT(partial_cholesky_flops(p, 20),
+              partial_cholesky_flops(p - 1, 20));
+  }
+}
+
+// --- analyze() ---------------------------------------------------------------
+
+TEST(Analyze, ValidatesOnSuiteMatrices) {
+  for (const auto& prob : test_suite(0.12)) {
+    const SymbolicFactor sf = analyze(prob.lower);
+    EXPECT_NO_THROW(sf.validate()) << prob.name;
+    EXPECT_GT(sf.n_supernodes, 0) << prob.name;
+    EXPECT_GE(sf.nnz_stored, sf.nnz_strict) << prob.name;
+    EXPECT_GE(sf.nnz_strict, sf.a.nnz()) << prob.name;
+    EXPECT_GT(sf.total_flops, 0) << prob.name;
+  }
+}
+
+TEST(Analyze, StrictNnzMatchesReferenceAfterPostorder) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const SparseMatrix a = random_spd(45, 3, seed);
+    const SymbolicFactor sf = analyze(a);
+    // Recompute the reference on the postordered matrix.
+    const auto ref = reference_col_counts(sf.a);
+    const count_t ref_nnz =
+        std::accumulate(ref.begin(), ref.end(), count_t{0});
+    EXPECT_EQ(sf.nnz_strict, ref_nnz) << "seed " << seed;
+    EXPECT_EQ(sf.col_count, ref) << "seed " << seed;
+  }
+}
+
+TEST(Analyze, FundamentalSupernodesHaveExactStructure) {
+  AmalgamationOptions opts;
+  opts.enable = false;
+  for (std::uint64_t seed : {31u, 32u}) {
+    const SparseMatrix a = random_spd(60, 3, seed);
+    const SymbolicFactor sf = analyze(a, opts);
+    sf.validate();
+    for (index_t s = 0; s < sf.n_supernodes; ++s) {
+      // Without amalgamation, below-rows count equals
+      // colcount(first) - ncols exactly.
+      EXPECT_EQ(sf.sn_below(s),
+                sf.col_count[sf.sn_start[s]] - sf.sn_cols(s))
+          << "seed " << seed << " sn " << s;
+    }
+    // Stored == strict when no zeros are introduced.
+    EXPECT_EQ(sf.nnz_stored, sf.nnz_strict);
+  }
+}
+
+TEST(Analyze, RowStructureMatchesReferencePattern) {
+  const SparseMatrix a = random_spd(40, 3, 77);
+  AmalgamationOptions opts;
+  opts.enable = false;
+  const SymbolicFactor sf = analyze(a, opts);
+  const auto ref = reference_factor_pattern(sf.a);
+  for (index_t s = 0; s < sf.n_supernodes; ++s) {
+    const index_t first = sf.sn_start[s];
+    const index_t block_end = sf.sn_start[s + 1];
+    // Below rows must equal the reference pattern of the first column
+    // restricted beyond the block.
+    std::vector<index_t> expect;
+    for (index_t i = block_end; i < sf.n; ++i) {
+      if (ref[i][first]) expect.push_back(i);
+    }
+    const auto rows = sf.below_rows(s);
+    ASSERT_EQ(static_cast<std::size_t>(rows.size()), expect.size());
+    for (std::size_t k = 0; k < expect.size(); ++k) {
+      EXPECT_EQ(rows[k], expect[k]);
+    }
+  }
+}
+
+TEST(Analyze, AmalgamationReducesSupernodeCount) {
+  const SparseMatrix a = grid_laplacian_2d(20, 20, 5);
+  AmalgamationOptions off;
+  off.enable = false;
+  const SymbolicFactor plain = analyze(a, off);
+  const SymbolicFactor relaxed = analyze(a);
+  EXPECT_LT(relaxed.n_supernodes, plain.n_supernodes);
+  EXPECT_GE(relaxed.nnz_stored, plain.nnz_stored);
+  EXPECT_EQ(relaxed.nnz_strict, plain.nnz_strict);
+  relaxed.validate();
+}
+
+TEST(Analyze, AmalgamationRatioKnob) {
+  const SparseMatrix a = grid_laplacian_3d(8, 8, 8, 7);
+  AmalgamationOptions loose;
+  loose.relax_small = 32;
+  loose.relax_ratio = 0.4;
+  AmalgamationOptions tight;
+  tight.relax_small = 2;
+  tight.relax_ratio = 0.01;
+  const SymbolicFactor l = analyze(a, loose);
+  const SymbolicFactor t = analyze(a, tight);
+  EXPECT_LE(l.n_supernodes, t.n_supernodes);
+  EXPECT_GE(l.nnz_stored, t.nnz_stored);
+  l.validate();
+  t.validate();
+}
+
+TEST(Analyze, RejectsMissingDiagonal) {
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(2, 2, 1.0);
+  b.add(1, 0, -0.5);  // column 1 has no diagonal
+  EXPECT_THROW(analyze(b.build()), Error);
+}
+
+TEST(Analyze, DiagonalMatrixIsAllSingletonRoots) {
+  TripletBuilder b(5, 5);
+  for (index_t j = 0; j < 5; ++j) b.add(j, j, 2.0);
+  const SymbolicFactor sf = analyze(b.build());
+  sf.validate();
+  EXPECT_EQ(sf.nnz_strict, 5);
+  EXPECT_EQ(sf.total_flops, 5);  // one sqrt per column
+  for (index_t s = 0; s < sf.n_supernodes; ++s) {
+    EXPECT_EQ(sf.sn_parent[s], kNone);
+  }
+}
+
+TEST(Analyze, FlopsSumOverFronts) {
+  const SparseMatrix a = grid_laplacian_2d(10, 10, 5);
+  const SymbolicFactor sf = analyze(a);
+  const count_t sum = std::accumulate(sf.sn_flops.begin(), sf.sn_flops.end(),
+                                      count_t{0});
+  EXPECT_EQ(sum, sf.total_flops);
+}
+
+}  // namespace
+}  // namespace parfact
