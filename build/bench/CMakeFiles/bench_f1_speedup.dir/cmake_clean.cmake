@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_speedup.dir/bench_f1_speedup.cc.o"
+  "CMakeFiles/bench_f1_speedup.dir/bench_f1_speedup.cc.o.d"
+  "bench_f1_speedup"
+  "bench_f1_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

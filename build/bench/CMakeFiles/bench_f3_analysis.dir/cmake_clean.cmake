@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_analysis.dir/bench_f3_analysis.cc.o"
+  "CMakeFiles/bench_f3_analysis.dir/bench_f3_analysis.cc.o.d"
+  "bench_f3_analysis"
+  "bench_f3_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

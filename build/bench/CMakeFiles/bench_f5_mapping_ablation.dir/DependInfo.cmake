@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f5_mapping_ablation.cc" "bench/CMakeFiles/bench_f5_mapping_ablation.dir/bench_f5_mapping_ablation.cc.o" "gcc" "bench/CMakeFiles/bench_f5_mapping_ablation.dir/bench_f5_mapping_ablation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/parfact_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/parfact_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/parfact_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/parfact_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/solve/CMakeFiles/parfact_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/parfact_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/parfact_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/parfact_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/parfact_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parfact_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

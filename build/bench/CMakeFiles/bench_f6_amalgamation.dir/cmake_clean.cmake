@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_amalgamation.dir/bench_f6_amalgamation.cc.o"
+  "CMakeFiles/bench_f6_amalgamation.dir/bench_f6_amalgamation.cc.o.d"
+  "bench_f6_amalgamation"
+  "bench_f6_amalgamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_amalgamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_variants.dir/bench_f7_variants.cc.o"
+  "CMakeFiles/bench_f7_variants.dir/bench_f7_variants.cc.o.d"
+  "bench_f7_variants"
+  "bench_f7_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

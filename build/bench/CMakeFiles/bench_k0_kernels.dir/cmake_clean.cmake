@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_k0_kernels.dir/bench_k0_kernels.cc.o"
+  "CMakeFiles/bench_k0_kernels.dir/bench_k0_kernels.cc.o.d"
+  "bench_k0_kernels"
+  "bench_k0_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k0_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_matrices.dir/bench_t1_matrices.cc.o"
+  "CMakeFiles/bench_t1_matrices.dir/bench_t1_matrices.cc.o.d"
+  "bench_t1_matrices"
+  "bench_t1_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

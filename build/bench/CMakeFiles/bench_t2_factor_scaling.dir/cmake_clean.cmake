@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_factor_scaling.dir/bench_t2_factor_scaling.cc.o"
+  "CMakeFiles/bench_t2_factor_scaling.dir/bench_t2_factor_scaling.cc.o.d"
+  "bench_t2_factor_scaling"
+  "bench_t2_factor_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_factor_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

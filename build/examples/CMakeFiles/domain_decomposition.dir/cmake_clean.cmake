@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_decomposition.dir/domain_decomposition.cpp.o"
+  "CMakeFiles/domain_decomposition.dir/domain_decomposition.cpp.o.d"
+  "domain_decomposition"
+  "domain_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

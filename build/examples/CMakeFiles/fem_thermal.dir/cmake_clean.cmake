@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fem_thermal.dir/fem_thermal.cpp.o"
+  "CMakeFiles/fem_thermal.dir/fem_thermal.cpp.o.d"
+  "fem_thermal"
+  "fem_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fem_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

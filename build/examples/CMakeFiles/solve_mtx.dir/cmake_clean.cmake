@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_mtx.dir/solve_mtx.cpp.o"
+  "CMakeFiles/solve_mtx.dir/solve_mtx.cpp.o.d"
+  "solve_mtx"
+  "solve_mtx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_mtx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_elasticity.dir/structural_elasticity.cpp.o"
+  "CMakeFiles/structural_elasticity.dir/structural_elasticity.cpp.o.d"
+  "structural_elasticity"
+  "structural_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

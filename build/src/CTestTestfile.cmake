@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sparse")
+subdirs("graph")
+subdirs("symbolic")
+subdirs("dense")
+subdirs("mf")
+subdirs("mpsim")
+subdirs("dist")
+subdirs("perf")
+subdirs("solve")
+subdirs("baseline")
+subdirs("api")

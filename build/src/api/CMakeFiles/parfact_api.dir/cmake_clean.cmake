@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_api.dir/schur.cc.o"
+  "CMakeFiles/parfact_api.dir/schur.cc.o.d"
+  "CMakeFiles/parfact_api.dir/solver.cc.o"
+  "CMakeFiles/parfact_api.dir/solver.cc.o.d"
+  "libparfact_api.a"
+  "libparfact_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/iccg.cc" "src/baseline/CMakeFiles/parfact_baseline.dir/iccg.cc.o" "gcc" "src/baseline/CMakeFiles/parfact_baseline.dir/iccg.cc.o.d"
+  "/root/repo/src/baseline/left_looking.cc" "src/baseline/CMakeFiles/parfact_baseline.dir/left_looking.cc.o" "gcc" "src/baseline/CMakeFiles/parfact_baseline.dir/left_looking.cc.o.d"
+  "/root/repo/src/baseline/simplicial.cc" "src/baseline/CMakeFiles/parfact_baseline.dir/simplicial.cc.o" "gcc" "src/baseline/CMakeFiles/parfact_baseline.dir/simplicial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/parfact_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/solve/CMakeFiles/parfact_solve.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/parfact_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/parfact_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

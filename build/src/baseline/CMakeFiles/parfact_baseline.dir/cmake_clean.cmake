@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_baseline.dir/iccg.cc.o"
+  "CMakeFiles/parfact_baseline.dir/iccg.cc.o.d"
+  "CMakeFiles/parfact_baseline.dir/left_looking.cc.o"
+  "CMakeFiles/parfact_baseline.dir/left_looking.cc.o.d"
+  "CMakeFiles/parfact_baseline.dir/simplicial.cc.o"
+  "CMakeFiles/parfact_baseline.dir/simplicial.cc.o.d"
+  "libparfact_baseline.a"
+  "libparfact_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

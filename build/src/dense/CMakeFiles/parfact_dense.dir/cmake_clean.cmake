@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_dense.dir/kernels.cc.o"
+  "CMakeFiles/parfact_dense.dir/kernels.cc.o.d"
+  "libparfact_dense.a"
+  "libparfact_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

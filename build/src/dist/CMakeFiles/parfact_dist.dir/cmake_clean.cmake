@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_dist.dir/dist_factor.cc.o"
+  "CMakeFiles/parfact_dist.dir/dist_factor.cc.o.d"
+  "CMakeFiles/parfact_dist.dir/dist_solve.cc.o"
+  "CMakeFiles/parfact_dist.dir/dist_solve.cc.o.d"
+  "CMakeFiles/parfact_dist.dir/mapping.cc.o"
+  "CMakeFiles/parfact_dist.dir/mapping.cc.o.d"
+  "libparfact_dist.a"
+  "libparfact_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/parfact_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/minimum_degree.cc" "src/graph/CMakeFiles/parfact_graph.dir/minimum_degree.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/minimum_degree.cc.o.d"
+  "/root/repo/src/graph/nested_dissection.cc" "src/graph/CMakeFiles/parfact_graph.dir/nested_dissection.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/nested_dissection.cc.o.d"
+  "/root/repo/src/graph/nested_dissection_parallel.cc" "src/graph/CMakeFiles/parfact_graph.dir/nested_dissection_parallel.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/nested_dissection_parallel.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/parfact_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/rcm.cc" "src/graph/CMakeFiles/parfact_graph.dir/rcm.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/rcm.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/graph/CMakeFiles/parfact_graph.dir/traversal.cc.o" "gcc" "src/graph/CMakeFiles/parfact_graph.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_graph.dir/graph.cc.o"
+  "CMakeFiles/parfact_graph.dir/graph.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/minimum_degree.cc.o"
+  "CMakeFiles/parfact_graph.dir/minimum_degree.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/nested_dissection.cc.o"
+  "CMakeFiles/parfact_graph.dir/nested_dissection.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/nested_dissection_parallel.cc.o"
+  "CMakeFiles/parfact_graph.dir/nested_dissection_parallel.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/partition.cc.o"
+  "CMakeFiles/parfact_graph.dir/partition.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/rcm.cc.o"
+  "CMakeFiles/parfact_graph.dir/rcm.cc.o.d"
+  "CMakeFiles/parfact_graph.dir/traversal.cc.o"
+  "CMakeFiles/parfact_graph.dir/traversal.cc.o.d"
+  "libparfact_graph.a"
+  "libparfact_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

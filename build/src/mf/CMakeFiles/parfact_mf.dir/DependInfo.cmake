@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mf/factor.cc" "src/mf/CMakeFiles/parfact_mf.dir/factor.cc.o" "gcc" "src/mf/CMakeFiles/parfact_mf.dir/factor.cc.o.d"
+  "/root/repo/src/mf/front_kernel.cc" "src/mf/CMakeFiles/parfact_mf.dir/front_kernel.cc.o" "gcc" "src/mf/CMakeFiles/parfact_mf.dir/front_kernel.cc.o.d"
+  "/root/repo/src/mf/multifrontal.cc" "src/mf/CMakeFiles/parfact_mf.dir/multifrontal.cc.o" "gcc" "src/mf/CMakeFiles/parfact_mf.dir/multifrontal.cc.o.d"
+  "/root/repo/src/mf/ooc.cc" "src/mf/CMakeFiles/parfact_mf.dir/ooc.cc.o" "gcc" "src/mf/CMakeFiles/parfact_mf.dir/ooc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symbolic/CMakeFiles/parfact_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/parfact_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_mf.dir/factor.cc.o"
+  "CMakeFiles/parfact_mf.dir/factor.cc.o.d"
+  "CMakeFiles/parfact_mf.dir/front_kernel.cc.o"
+  "CMakeFiles/parfact_mf.dir/front_kernel.cc.o.d"
+  "CMakeFiles/parfact_mf.dir/multifrontal.cc.o"
+  "CMakeFiles/parfact_mf.dir/multifrontal.cc.o.d"
+  "CMakeFiles/parfact_mf.dir/ooc.cc.o"
+  "CMakeFiles/parfact_mf.dir/ooc.cc.o.d"
+  "libparfact_mf.a"
+  "libparfact_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

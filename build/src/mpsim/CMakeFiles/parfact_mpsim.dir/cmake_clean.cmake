@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_mpsim.dir/machine.cc.o"
+  "CMakeFiles/parfact_mpsim.dir/machine.cc.o.d"
+  "libparfact_mpsim.a"
+  "libparfact_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparfact_mpsim.a"
+)

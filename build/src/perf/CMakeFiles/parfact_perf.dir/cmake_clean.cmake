@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_perf.dir/dag_sim.cc.o"
+  "CMakeFiles/parfact_perf.dir/dag_sim.cc.o.d"
+  "libparfact_perf.a"
+  "libparfact_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solve/condest.cc" "src/solve/CMakeFiles/parfact_solve.dir/condest.cc.o" "gcc" "src/solve/CMakeFiles/parfact_solve.dir/condest.cc.o.d"
+  "/root/repo/src/solve/solve.cc" "src/solve/CMakeFiles/parfact_solve.dir/solve.cc.o" "gcc" "src/solve/CMakeFiles/parfact_solve.dir/solve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mf/CMakeFiles/parfact_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dense/CMakeFiles/parfact_dense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/parfact_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

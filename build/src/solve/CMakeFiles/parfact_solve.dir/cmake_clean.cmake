@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_solve.dir/condest.cc.o"
+  "CMakeFiles/parfact_solve.dir/condest.cc.o.d"
+  "CMakeFiles/parfact_solve.dir/solve.cc.o"
+  "CMakeFiles/parfact_solve.dir/solve.cc.o.d"
+  "libparfact_solve.a"
+  "libparfact_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/gen.cc" "src/sparse/CMakeFiles/parfact_sparse.dir/gen.cc.o" "gcc" "src/sparse/CMakeFiles/parfact_sparse.dir/gen.cc.o.d"
+  "/root/repo/src/sparse/io.cc" "src/sparse/CMakeFiles/parfact_sparse.dir/io.cc.o" "gcc" "src/sparse/CMakeFiles/parfact_sparse.dir/io.cc.o.d"
+  "/root/repo/src/sparse/ops.cc" "src/sparse/CMakeFiles/parfact_sparse.dir/ops.cc.o" "gcc" "src/sparse/CMakeFiles/parfact_sparse.dir/ops.cc.o.d"
+  "/root/repo/src/sparse/sparse_matrix.cc" "src/sparse/CMakeFiles/parfact_sparse.dir/sparse_matrix.cc.o" "gcc" "src/sparse/CMakeFiles/parfact_sparse.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_sparse.dir/gen.cc.o"
+  "CMakeFiles/parfact_sparse.dir/gen.cc.o.d"
+  "CMakeFiles/parfact_sparse.dir/io.cc.o"
+  "CMakeFiles/parfact_sparse.dir/io.cc.o.d"
+  "CMakeFiles/parfact_sparse.dir/ops.cc.o"
+  "CMakeFiles/parfact_sparse.dir/ops.cc.o.d"
+  "CMakeFiles/parfact_sparse.dir/sparse_matrix.cc.o"
+  "CMakeFiles/parfact_sparse.dir/sparse_matrix.cc.o.d"
+  "libparfact_sparse.a"
+  "libparfact_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_support.dir/thread_pool.cc.o"
+  "CMakeFiles/parfact_support.dir/thread_pool.cc.o.d"
+  "libparfact_support.a"
+  "libparfact_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/etree.cc" "src/symbolic/CMakeFiles/parfact_symbolic.dir/etree.cc.o" "gcc" "src/symbolic/CMakeFiles/parfact_symbolic.dir/etree.cc.o.d"
+  "/root/repo/src/symbolic/symbolic_factor.cc" "src/symbolic/CMakeFiles/parfact_symbolic.dir/symbolic_factor.cc.o" "gcc" "src/symbolic/CMakeFiles/parfact_symbolic.dir/symbolic_factor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/parfact_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/parfact_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

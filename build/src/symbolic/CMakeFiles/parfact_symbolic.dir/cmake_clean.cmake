@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfact_symbolic.dir/etree.cc.o"
+  "CMakeFiles/parfact_symbolic.dir/etree.cc.o.d"
+  "CMakeFiles/parfact_symbolic.dir/symbolic_factor.cc.o"
+  "CMakeFiles/parfact_symbolic.dir/symbolic_factor.cc.o.d"
+  "libparfact_symbolic.a"
+  "libparfact_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfact_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_solve_test.dir/dist_solve_test.cc.o"
+  "CMakeFiles/dist_solve_test.dir/dist_solve_test.cc.o.d"
+  "dist_solve_test"
+  "dist_solve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldlt_test.dir/ldlt_test.cc.o"
+  "CMakeFiles/ldlt_test.dir/ldlt_test.cc.o.d"
+  "ldlt_test"
+  "ldlt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldlt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mf_test.dir/mf_test.cc.o"
+  "CMakeFiles/mf_test.dir/mf_test.cc.o.d"
+  "mf_test"
+  "mf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsim_test.dir/mpsim_test.cc.o"
+  "CMakeFiles/mpsim_test.dir/mpsim_test.cc.o.d"
+  "mpsim_test"
+  "mpsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_test.dir/ooc_test.cc.o"
+  "CMakeFiles/ooc_test.dir/ooc_test.cc.o.d"
+  "ooc_test"
+  "ooc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
