@@ -1,0 +1,92 @@
+// K0 smoke — ctest-registered sanity check that the packed kernel engine
+// actually beats a naive triple loop on this machine. Catches build-system
+// regressions (e.g. the engine sources dropping out of the library, or a
+// flags change that defeats vectorization) that the conformance tests in
+// tests/dense_test.cc cannot see because they only check values.
+//
+// Exit code 0 on pass, 1 on failure. The speedup assertion only applies to
+// optimized builds (this repo's Release flags keep assertions on, so the
+// gate is __OPTIMIZE__, not NDEBUG); -O0 builds just report the ratio.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dense/kernels.h"
+#include "dense/matrix_view.h"
+#include "support/prng.h"
+#include "support/timer.h"
+
+namespace parfact {
+namespace {
+
+std::vector<real_t> random_buffer(std::size_t size, std::uint64_t seed) {
+  std::vector<real_t> v(size);
+  Prng rng(seed);
+  for (auto& x : v) x = rng.next_real(-1, 1);
+  return v;
+}
+
+// Reference implementation: the j/k/i loop nest the seed kernels used,
+// deliberately kept unblocked and unpacked.
+void naive_gemm_nt(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    for (index_t k = 0; k < a.cols; ++k) {
+      const real_t bjk = b.at(j, k);
+      for (index_t i = 0; i < c.rows; ++i) {
+        c.at(i, j) -= a.at(i, k) * bjk;
+      }
+    }
+  }
+}
+
+template <typename F>
+double best_seconds(F&& f, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    f();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+int run() {
+  const index_t m = 384;
+  auto ca = std::vector<real_t>(static_cast<std::size_t>(m) * m, 0.0);
+  const auto aa = random_buffer(ca.size(), 1);
+  const auto ba = random_buffer(ca.size(), 2);
+  MatrixView c{ca.data(), m, m, m};
+  const ConstMatrixView a{aa.data(), m, m, m};
+  const ConstMatrixView b{ba.data(), m, m, m};
+
+  // Warm up both paths (first packed call allocates pack scratch).
+  naive_gemm_nt(c, a, b);
+  gemm_nt_update(c, a, b);
+
+  const double flops = 2.0 * m * m * m;
+  const double t_naive = best_seconds([&] { naive_gemm_nt(c, a, b); }, 3);
+  const double t_packed = best_seconds([&] { gemm_nt_update(c, a, b); }, 5);
+  const double ratio = t_naive / t_packed;
+  std::printf("naive  gemm_nt: %7.2f Gflop/s\n", flops / t_naive / 1e9);
+  std::printf("packed gemm_nt: %7.2f Gflop/s\n", flops / t_packed / 1e9);
+  std::printf("speedup: %.2fx\n", ratio);
+
+#ifdef __OPTIMIZE__
+  // The engine sustains ~4x the naive rate on the dev machine; 1.5x leaves
+  // headroom for noisy CI while still catching a fallback to naive loops.
+  if (ratio < 1.5) {
+    std::printf("FAIL: packed engine is not meaningfully faster than the "
+                "naive loop nest\n");
+    return 1;
+  }
+#else
+  std::printf("(unoptimized build: speedup assertion skipped)\n");
+#endif
+  std::printf("PASS\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace parfact
+
+int main() { return parfact::run(); }

@@ -4,16 +4,44 @@
 #include <cmath>
 #include <vector>
 
+#include "dense/microkernel.h"
 #include "support/error.h"
 #include "support/prng.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace parfact {
 namespace {
 
-/// Blocking factor for the level-3 kernels: a KB x NB tile of B and a column
-/// stripe of A stay resident in L1/L2 across the inner loops.
+/// Blocking factor for the unpacked fallback loops and the TRSM diagonal
+/// solves.
 constexpr index_t kBlock = 64;
+
+/// Outer block size of the blocked POTRF (trailing updates run on the
+/// packed engine, so a large block amortizes the diagonal factorization).
+constexpr index_t kPotrfBlock = 128;
+
+/// At or below this order the Cholesky runs unblocked.
+constexpr index_t kPotrfUnblocked = 32;
+
+/// Column-block size of the blocked right-TRSM.
+constexpr index_t kTrsmBlock = 64;
+
+/// The packed engine pays O(n·k + m·k) packing traffic; below this n·k
+/// work product (vector-shaped or tiny updates) the unpacked loops win.
+/// Deliberately independent of m so that splitting C's rows across threads
+/// never changes which path an element takes.
+constexpr count_t kEngineMinWork = 1024;
+
+/// Minimum flops in one level-3 call before it is split across a pool.
+constexpr count_t kParallelMinFlops = 4'000'000;
+
+/// Minimum C rows per parallel slab.
+constexpr index_t kSlabMinRows = 64;
+
+bool use_engine(index_t n_logical, index_t k) {
+  return static_cast<count_t>(n_logical) * k >= kEngineMinWork;
+}
 
 /// Unblocked Cholesky on a small lower triangle.
 index_t potrf_lower_unblocked(MatrixView a) {
@@ -33,6 +61,96 @@ index_t potrf_lower_unblocked(MatrixView a) {
     }
   }
   return kNone;
+}
+
+index_t potrf_lower_blocked(MatrixView a, index_t nb) {
+  const index_t n = a.rows;
+  if (n <= kPotrfUnblocked) return potrf_lower_unblocked(a);
+  for (index_t k = 0; k < n; k += nb) {
+    const index_t cb = std::min(nb, n - k);
+    MatrixView akk = a.block(k, k, cb, cb);
+    const index_t info = cb <= kPotrfUnblocked
+                             ? potrf_lower_unblocked(akk)
+                             : potrf_lower_blocked(akk, kPotrfUnblocked);
+    if (info != kNone) return k + info;
+    const index_t rest = n - k - cb;
+    if (rest == 0) continue;
+    MatrixView panel = a.block(k + cb, k, rest, cb);
+    trsm_right_lower_trans(akk, panel);
+    syrk_lower_update(a.block(k + cb, k + cb, rest, rest), panel);
+  }
+  return kNone;
+}
+
+/// Unblocked X Lᵀ = B solve (column-by-column saxpy chain).
+void trsm_right_lower_trans_unblocked(ConstMatrixView l, MatrixView b) {
+  const index_t n = l.rows;
+  const index_t m = b.rows;
+  for (index_t j = 0; j < n; ++j) {
+    real_t* bj = &b.at(0, j);
+    for (index_t k = 0; k < j; ++k) {
+      const real_t ljk = l.at(j, k);
+      if (ljk == 0.0) continue;
+      const real_t* bk = &b.at(0, k);
+      for (index_t i = 0; i < m; ++i) bj[i] -= bk[i] * ljk;
+    }
+    const real_t inv = 1.0 / l.at(j, j);
+    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  }
+}
+
+/// Unpacked c -= a·bᵀ fallback for shapes where packing would dominate.
+void gemm_nt_small(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
+  const index_t m = c.rows;
+  const index_t n = c.cols;
+  const index_t kk = a.cols;
+  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
+    const index_t j1 = std::min(n, j0 + kBlock);
+    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
+      const index_t k1 = std::min(kk, k0 + kBlock);
+      for (index_t j = j0; j < j1; ++j) {
+        real_t* cj = &c.at(0, j);
+        for (index_t k = k0; k < k1; ++k) {
+          const real_t bjk = b.at(j, k);
+          if (bjk == 0.0) continue;
+          const real_t* ak = &a.at(0, k);
+          for (index_t i = 0; i < m; ++i) cj[i] -= ak[i] * bjk;
+        }
+      }
+    }
+  }
+}
+
+/// Unpacked c -= a·aᵀ (lower) fallback.
+void syrk_lower_small(MatrixView c, ConstMatrixView a) {
+  const index_t n = c.rows;
+  const index_t kk = a.cols;
+  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
+    const index_t j1 = std::min(n, j0 + kBlock);
+    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
+      const index_t k1 = std::min(kk, k0 + kBlock);
+      for (index_t j = j0; j < j1; ++j) {
+        real_t* cj = &c.at(0, j);
+        for (index_t k = k0; k < k1; ++k) {
+          const real_t ajk = a.at(j, k);
+          if (ajk == 0.0) continue;
+          const real_t* ak = &a.at(0, k);
+          for (index_t i = j; i < n; ++i) cj[i] -= ak[i] * ajk;
+        }
+      }
+    }
+  }
+}
+
+/// Number of row slabs for a pool-parallel level-3 call, or 1 for the
+/// serial path.
+index_t slab_count(count_t flops, index_t rows, const ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) return 1;
+  if (flops < kParallelMinFlops) return 1;
+  const index_t by_rows = rows / kSlabMinRows;
+  const index_t by_pool = 4 * static_cast<index_t>(pool->size());
+  const auto by_flops = static_cast<index_t>(flops / kParallelMinFlops) + 1;
+  return std::max<index_t>(1, std::min({by_rows, by_pool, by_flops}));
 }
 
 }  // namespace
@@ -62,38 +180,46 @@ index_t ldlt_lower(MatrixView a, std::span<real_t> d) {
 
 index_t potrf_lower(MatrixView a) {
   PARFACT_CHECK(a.rows == a.cols);
-  const index_t n = a.rows;
-  for (index_t k = 0; k < n; k += kBlock) {
-    const index_t nb = std::min(kBlock, n - k);
-    MatrixView akk = a.block(k, k, nb, nb);
-    const index_t info = potrf_lower_unblocked(akk);
-    if (info != kNone) return k + info;
-    const index_t rest = n - k - nb;
-    if (rest == 0) continue;
-    MatrixView panel = a.block(k + nb, k, rest, nb);
-    trsm_right_lower_trans(akk, panel);
-    syrk_lower_update(a.block(k + nb, k + nb, rest, rest), panel);
-  }
-  return kNone;
+  return potrf_lower_blocked(a, kPotrfBlock);
 }
 
 void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
   PARFACT_CHECK(l.rows == l.cols && b.cols == l.rows);
-  // Solve X Lᵀ = B column-block by column-block: for column j of X,
-  // x_j = (b_j - sum_{k<j} x_k * L(j,k)) / L(j,j).
   const index_t n = l.rows;
   const index_t m = b.rows;
-  for (index_t j = 0; j < n; ++j) {
-    real_t* bj = &b.at(0, j);
-    for (index_t k = 0; k < j; ++k) {
-      const real_t ljk = l.at(j, k);
-      if (ljk == 0.0) continue;
-      const real_t* bk = &b.at(0, k);
-      for (index_t i = 0; i < m; ++i) bj[i] -= bk[i] * ljk;
-    }
-    const real_t inv = 1.0 / l.at(j, j);
-    for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+  if (n <= kTrsmBlock) {
+    trsm_right_lower_trans_unblocked(l, b);
+    return;
   }
+  // Left-looking column blocks: fold all already-solved columns into block
+  // j0 with one engine GEMM, then solve the diagonal block unblocked.
+  for (index_t j0 = 0; j0 < n; j0 += kTrsmBlock) {
+    const index_t jb = std::min(kTrsmBlock, n - j0);
+    MatrixView bj = b.block(0, j0, m, jb);
+    if (j0 > 0) {
+      gemm_nt_update(bj, b.block(0, 0, m, j0), l.block(j0, 0, jb, j0));
+    }
+    trsm_right_lower_trans_unblocked(l.block(j0, j0, jb, jb), bj);
+  }
+}
+
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b,
+                            ThreadPool* pool) {
+  const count_t flops =
+      static_cast<count_t>(b.rows) * l.rows * (l.rows + 1);
+  const index_t slabs = slab_count(flops, b.rows, pool);
+  if (slabs <= 1) {
+    trsm_right_lower_trans(l, b);
+    return;
+  }
+  // Rows of X Lᵀ = B are independent; each slab runs the full serial solve
+  // on its rows, so the result is bitwise identical to the serial call.
+  const index_t m = b.rows;
+  parallel_for(*pool, 0, slabs, [&](index_t t) {
+    const index_t r0 = t * m / slabs;
+    const index_t r1 = (t + 1) * m / slabs;
+    if (r0 < r1) trsm_right_lower_trans(l, b.block(r0, 0, r1 - r0, b.cols));
+  });
 }
 
 void trsm_left_lower(ConstMatrixView l, MatrixView x) {
@@ -127,51 +253,84 @@ void trsm_left_lower_trans(ConstMatrixView l, MatrixView x) {
 
 void syrk_lower_update(MatrixView c, ConstMatrixView a) {
   PARFACT_CHECK(c.rows == c.cols && c.rows == a.rows);
+  if (use_engine(c.rows, a.cols)) {
+    detail::syrk_packed_lower(c, a);
+  } else {
+    syrk_lower_small(c, a);
+  }
+}
+
+void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool) {
+  PARFACT_CHECK(c.rows == c.cols && c.rows == a.rows);
   const index_t n = c.rows;
   const index_t kk = a.cols;
-  // Tile over (j, k); the innermost loop is a saxpy down column j of C,
-  // starting at the diagonal.
-  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
-    const index_t j1 = std::min(n, j0 + kBlock);
-    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
-      const index_t k1 = std::min(kk, k0 + kBlock);
-      for (index_t j = j0; j < j1; ++j) {
-        real_t* cj = &c.at(0, j);
-        for (index_t k = k0; k < k1; ++k) {
-          const real_t ajk = a.at(j, k);
-          if (ajk == 0.0) continue;
-          const real_t* ak = &a.at(0, k);
-          for (index_t i = j; i < n; ++i) cj[i] -= ak[i] * ajk;
-        }
-      }
-    }
+  const count_t flops = static_cast<count_t>(n) * n * kk;
+  const index_t slabs = slab_count(flops, n, pool);
+  if (slabs <= 1 || !use_engine(n, kk)) {
+    syrk_lower_update(c, a);
+    return;
   }
+  // Row slab [r0, r1) owns a rectangle C(r0:r1, 0:r0) plus the diagonal
+  // triangle C(r0:r1, r0:r1); a square-root partition balances the flops.
+  // Both pieces run on the packed engine, exactly like the serial call, so
+  // the row split leaves the result bitwise unchanged.
+  std::vector<index_t> bound(static_cast<std::size_t>(slabs) + 1, 0);
+  for (index_t t = 1; t < slabs; ++t) {
+    const double frac = std::sqrt(static_cast<double>(t) / slabs);
+    bound[t] = std::clamp<index_t>(static_cast<index_t>(n * frac),
+                                   bound[t - 1], n);
+  }
+  bound[slabs] = n;
+  parallel_for(*pool, 0, slabs, [&](index_t t) {
+    const index_t r0 = bound[t];
+    const index_t r1 = bound[t + 1];
+    if (r0 >= r1) return;
+    const index_t len = r1 - r0;
+    if (r0 > 0) {
+      detail::gemm_packed(c.block(r0, 0, len, r0), a.block(r0, 0, len, kk),
+                          false, a.block(0, 0, r0, kk), false);
+    }
+    detail::syrk_packed_lower(c.block(r0, r0, len, len),
+                              a.block(r0, 0, len, kk));
+  });
 }
 
 void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
   PARFACT_CHECK(c.rows == a.rows && c.cols == b.rows && a.cols == b.cols);
-  const index_t m = c.rows;
-  const index_t n = c.cols;
-  const index_t kk = a.cols;
-  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
-    const index_t j1 = std::min(n, j0 + kBlock);
-    for (index_t k0 = 0; k0 < kk; k0 += kBlock) {
-      const index_t k1 = std::min(kk, k0 + kBlock);
-      for (index_t j = j0; j < j1; ++j) {
-        real_t* cj = &c.at(0, j);
-        for (index_t k = k0; k < k1; ++k) {
-          const real_t bjk = b.at(j, k);
-          if (bjk == 0.0) continue;
-          const real_t* ak = &a.at(0, k);
-          for (index_t i = 0; i < m; ++i) cj[i] -= ak[i] * bjk;
-        }
-      }
-    }
+  if (use_engine(c.cols, a.cols)) {
+    detail::gemm_packed(c, a, false, b, false);
+  } else {
+    gemm_nt_small(c, a, b);
   }
+}
+
+void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b,
+                    ThreadPool* pool) {
+  PARFACT_CHECK(c.rows == a.rows && c.cols == b.rows && a.cols == b.cols);
+  const count_t flops =
+      2 * static_cast<count_t>(c.rows) * c.cols * a.cols;
+  const index_t slabs = slab_count(flops, c.rows, pool);
+  if (slabs <= 1) {
+    gemm_nt_update(c, a, b);
+    return;
+  }
+  const index_t m = c.rows;
+  parallel_for(*pool, 0, slabs, [&](index_t t) {
+    const index_t r0 = t * m / slabs;
+    const index_t r1 = (t + 1) * m / slabs;
+    if (r0 < r1) {
+      gemm_nt_update(c.block(r0, 0, r1 - r0, c.cols),
+                     a.block(r0, 0, r1 - r0, a.cols), b);
+    }
+  });
 }
 
 void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
   PARFACT_CHECK(c.rows == a.rows && c.cols == b.cols && a.cols == b.rows);
+  if (use_engine(c.cols, a.cols)) {
+    detail::gemm_packed(c, a, false, b, true);
+    return;
+  }
   const index_t m = c.rows;
   const index_t n = c.cols;
   const index_t kk = a.cols;
@@ -191,6 +350,10 @@ void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
 
 void gemm_tn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b) {
   PARFACT_CHECK(c.rows == a.cols && c.cols == b.cols && a.rows == b.rows);
+  if (use_engine(c.cols, a.rows)) {
+    detail::gemm_packed(c, a, true, b, true);
+    return;
+  }
   const index_t m = c.rows;
   const index_t n = c.cols;
   const index_t kk = a.rows;
@@ -217,10 +380,17 @@ double measure_gemm_rate(index_t m) {
   MatrixView c{ca.data(), m, m, m};
   ConstMatrixView a{aa.data(), m, m, m};
   ConstMatrixView b{ba.data(), m, m, m};
-  // Warm up once, then time enough repetitions to exceed ~50 ms.
-  gemm_nt_update(c, a, b);
   const double flops_per_call = 2.0 * m * m * m;
-  int reps = std::max(1, static_cast<int>(2e8 / flops_per_call));
+  // Warm up once (page faults, clone resolution), then time a probe call
+  // and derive the repetition count that makes the measurement last
+  // ~50 ms, so the calibration is stable on slow and fast machines alike.
+  gemm_nt_update(c, a, b);
+  WallTimer probe;
+  gemm_nt_update(c, a, b);
+  const double probe_sec = std::max(probe.seconds(), 1e-9);
+  constexpr double kTargetSeconds = 0.05;
+  const int reps = static_cast<int>(
+      std::clamp(kTargetSeconds / probe_sec, 1.0, 1e6));
   WallTimer t;
   for (int r = 0; r < reps; ++r) gemm_nt_update(c, a, b);
   const double sec = t.seconds();

@@ -3,11 +3,18 @@
 // The multifrontal factorization spends essentially all numeric time here,
 // in the four Cholesky building blocks (POTRF / TRSM / SYRK / GEMM) plus the
 // solve-phase TRSMs. All kernels are written from scratch (the paper used a
-// vendor BLAS; see DESIGN.md substitutions), cache-blocked, and only touch
-// the referenced triangles.
+// vendor BLAS; see DESIGN.md substitutions). The level-3 kernels run on the
+// packed register-tiled engine in microkernel.h; tiny or vector-shaped
+// problems fall back to the unpacked loops where packing would dominate.
 //
 // Update kernels follow the factorization's sign convention: they *subtract*
 // the product (C := C - op(A) op(B)).
+//
+// The pool-taking overloads split C's row range across the pool's workers
+// and produce bitwise-identical results to their serial counterparts (the
+// engine's summation order per element does not depend on the row
+// partition); they fall back to the serial path for small problems or a
+// one-worker pool.
 #pragma once
 
 #include <span>
@@ -16,6 +23,8 @@
 #include "support/types.h"
 
 namespace parfact {
+
+class ThreadPool;
 
 /// Cholesky of the lower triangle of `a` in place (a := L with A = L Lᵀ).
 /// Returns kNone on success, or the (0-based) column index of the first
@@ -32,6 +41,10 @@ index_t ldlt_lower(MatrixView a, std::span<real_t> d);
 /// This is the panel update below a factorized diagonal block.
 void trsm_right_lower_trans(ConstMatrixView l, MatrixView b);
 
+/// Pool-parallel variant: rows of b are solved independently across the
+/// pool's workers (each row's operation sequence is unchanged).
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b, ThreadPool* pool);
+
 /// x := l⁻¹ x (forward substitution, multiple right-hand sides).
 void trsm_left_lower(ConstMatrixView l, MatrixView x);
 
@@ -42,8 +55,16 @@ void trsm_left_lower_trans(ConstMatrixView l, MatrixView x);
 /// with c.rows == a.rows.
 void syrk_lower_update(MatrixView c, ConstMatrixView a);
 
+/// Pool-parallel variant: row slabs of c (flop-balanced via a square-root
+/// partition of the triangle) update concurrently.
+void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool);
+
 /// c := c - a * bᵀ. Dimensions: c is (a.rows x b.rows), a.cols == b.cols.
 void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
+
+/// Pool-parallel variant: row slabs of c update concurrently.
+void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b,
+                    ThreadPool* pool);
 
 /// c := c - a * b. Dimensions: c is (a.rows x b.cols), a.cols == b.rows.
 void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
@@ -52,7 +73,9 @@ void gemm_nn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
 void gemm_tn_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);
 
 /// Measured throughput (flop/s) of a representative gemm_nt_update of order
-/// `m`; used to calibrate the virtual machine model (experiment K0).
+/// `m`; used to calibrate the virtual machine model (experiment K0). The
+/// repetition count is calibrated from a timed probe call so the total
+/// measurement lasts ~50 ms on slow and fast machines alike.
 double measure_gemm_rate(index_t m);
 
 }  // namespace parfact

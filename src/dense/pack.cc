@@ -1,0 +1,40 @@
+#include "dense/pack.h"
+
+#include <algorithm>
+
+namespace parfact::detail {
+
+void pack_panels(real_t* dst, ConstMatrixView src, index_t r) {
+  const index_t d = src.rows;
+  const index_t kk = src.cols;
+  for (index_t p = 0; p < d; p += r) {
+    const index_t pr = std::min(r, d - p);
+    for (index_t k = 0; k < kk; ++k) {
+      const real_t* col = &src.at(p, k);  // contiguous down the source column
+      index_t i = 0;
+      for (; i < pr; ++i) dst[i] = col[i];
+      for (; i < r; ++i) dst[i] = 0.0;
+      dst += r;
+    }
+  }
+}
+
+void pack_panels_trans(real_t* dst, ConstMatrixView src, index_t r) {
+  const index_t d = src.cols;  // logical rows = stored columns
+  const index_t kk = src.rows;
+  for (index_t p = 0; p < d; p += r) {
+    const index_t pr = std::min(r, d - p);
+    // Walk source columns (contiguous in k) and scatter into the panel at
+    // stride r; this keeps the reads unit-stride.
+    for (index_t i = 0; i < pr; ++i) {
+      const real_t* col = &src.at(0, p + i);
+      for (index_t k = 0; k < kk; ++k) dst[static_cast<std::size_t>(k) * r + i] = col[k];
+    }
+    for (index_t i = pr; i < r; ++i) {
+      for (index_t k = 0; k < kk; ++k) dst[static_cast<std::size_t>(k) * r + i] = 0.0;
+    }
+    dst += static_cast<std::size_t>(r) * kk;
+  }
+}
+
+}  // namespace parfact::detail

@@ -1,0 +1,26 @@
+// Panel packing for the register-tiled dense kernel engine.
+//
+// The engine (microkernel.h) multiplies packed operands only: before the
+// macro-kernel runs, a logical m×k left operand is repacked into contiguous
+// row panels of kMR rows and a logical n×k right operand into row panels of
+// kNR rows, both k-major inside the panel and zero-padded to the full panel
+// height. Packing costs O(d·k) against the O(m·n·k) multiply and buys the
+// micro-kernel unit-stride, cache-resident loads regardless of the source
+// leading dimension.
+#pragma once
+
+#include "dense/matrix_view.h"
+#include "support/types.h"
+
+namespace parfact::detail {
+
+/// Packs `src` (logical D×K) into panels of `r` rows: panel p holds rows
+/// [p·r, (p+1)·r) for all K columns, laid out k-major (the r entries of one
+/// k are contiguous), with rows beyond D zero-padded. `dst` must hold
+/// ceil(D/r)·r·K reals.
+void pack_panels(real_t* dst, ConstMatrixView src, index_t r);
+
+/// Same, but `src` is stored transposed (K×D) and its transpose is packed.
+void pack_panels_trans(real_t* dst, ConstMatrixView src, index_t r);
+
+}  // namespace parfact::detail

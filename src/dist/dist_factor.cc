@@ -326,13 +326,21 @@ class RankProgram {
       };
       for (index_t jb = kb + 1; jb < fb.nB; ++jb) {
         if (static_cast<int>(jb) % pc != gc) continue;
-        for (index_t ib = jb; ib < fb.nB; ++ib) {
+        // First ib ≥ jb in this rank's grid row; if none, block (jb, kb)
+        // was never requested and must not be touched.
+        const index_t ib0 =
+            jb + (gr - static_cast<int>(jb) % pr + pr) % pr;
+        if (ib0 >= fb.nB) continue;
+        // Hoisted out of the ib loop: in LDLᵀ mode b_side rescales the
+        // whole block by D, which must not be redone per row block.
+        const ConstMatrixView bj = b_side(jb);
+        for (index_t ib = ib0; ib < fb.nB; ++ib) {
           if (static_cast<int>(ib) % pr != gr) continue;
           MatrixView c = front.block(ib, jb);
           if (ib == jb && !ldlt) {
             syrk_lower_update(c, panel_block(ib));
           } else {
-            gemm_nt_update(c, panel_block(ib), b_side(jb));
+            gemm_nt_update(c, panel_block(ib), bj);
           }
           comm_.advance_compute(2 * static_cast<count_t>(c.rows) * c.cols *
                                 bk);

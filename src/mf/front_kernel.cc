@@ -12,7 +12,7 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
                      const std::vector<std::vector<index_t>>& children,
                      MatrixView panel, std::vector<real_t>& update_out,
                      FrontScratch& scratch, FactorKind kind,
-                     std::span<real_t> d) {
+                     std::span<real_t> d, ThreadPool* pool) {
   const index_t p = sym.sn_cols(s);
   const index_t b = sym.sn_below(s);
   const index_t first = sym.sn_start[s];
@@ -84,9 +84,10 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
   }
   if (b > 0) {
     MatrixView l21 = panel.block(p, 0, b, p);
-    trsm_right_lower_trans(l11, l21);  // now holds M = A21 L11^-T = L21 D
+    // now holds M = A21 L11^-T = L21 D
+    trsm_right_lower_trans(l11, l21, pool);
     if (kind == FactorKind::kCholesky) {
-      syrk_lower_update(update, l21);
+      syrk_lower_update(update, l21, pool);
     } else {
       // Keep M, rescale the stored panel to L21 = M D^-1, and subtract
       // L21 Mᵀ = L21 D L21ᵀ from the Schur complement.
@@ -100,7 +101,7 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
           col[i] /= dk;
         }
       }
-      gemm_nt_update(update, l21, ConstMatrixView{m.data(), b, p, b});
+      gemm_nt_update(update, l21, ConstMatrixView{m.data(), b, p, b}, pool);
     }
   }
 

@@ -7,30 +7,11 @@
 
 #include "dense/kernels.h"
 #include "mf/front_kernel.h"
+#include "mf/update_memory.h"
 #include "support/error.h"
 #include "support/timer.h"
 
 namespace parfact {
-namespace {
-
-/// Tracks live update-block bytes and their peak across the run.
-class UpdateMemory {
- public:
-  void add(std::size_t bytes) {
-    const std::size_t now = live_.fetch_add(bytes) + bytes;
-    std::size_t peak = peak_.load();
-    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
-    }
-  }
-  void sub(std::size_t bytes) { live_.fetch_sub(bytes); }
-  [[nodiscard]] std::size_t peak() const { return peak_.load(); }
-
- private:
-  std::atomic<std::size_t> live_{0};
-  std::atomic<std::size_t> peak_{0};
-};
-
-}  // namespace
 
 CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
                                    FactorStats* stats, FactorKind kind) {
@@ -42,7 +23,7 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
   std::vector<std::vector<real_t>> update_of(
       static_cast<std::size_t>(sym.n_supernodes));
   detail::FrontScratch scratch(sym.n);
-  UpdateMemory mem;
+  detail::UpdateMemory mem;
 
   for (index_t s = 0; s < sym.n_supernodes; ++s) {
     detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
@@ -65,7 +46,8 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
 CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
                                             ThreadPool& pool,
                                             FactorStats* stats,
-                                            FactorKind kind) {
+                                            FactorKind kind,
+                                            count_t coop_flops) {
   WallTimer timer;
   CholeskyFactor factor(sym);
   std::span<real_t> d;
@@ -73,7 +55,26 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
   const auto children = detail::build_children(sym);
   const index_t ns = sym.n_supernodes;
   std::vector<std::vector<real_t>> update_of(static_cast<std::size_t>(ns));
-  UpdateMemory mem;
+  detail::UpdateMemory mem;
+
+  // Partition the assembly tree, shared-memory analogue of the paper's
+  // subtree-to-subcube mapping: a supernode belongs to phase 1 (one task
+  // per supernode, pure tree parallelism) iff its whole subtree is made of
+  // fronts below the cooperative threshold. Everything else — the top of
+  // the tree, where the few remaining fronts hold most of the flops — is
+  // phase 2: processed in postorder by the calling thread with all workers
+  // cooperating inside each front's dense kernels. With one worker there is
+  // nothing to cooperate with, so the whole tree stays in phase 1.
+  std::vector<char> tasked(static_cast<std::size_t>(ns), 1);
+  if (pool.size() > 1) {
+    for (index_t s = 0; s < ns; ++s) {
+      bool light = sym.sn_flops[s] < coop_flops;
+      if (light) {
+        for (index_t c : children[s]) light = light && tasked[c];
+      }
+      tasked[s] = light ? 1 : 0;
+    }
+  }
 
   // Pool of scratch maps, one handed to each running task.
   std::mutex scratch_mu;
@@ -92,36 +93,50 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
     scratch_pool.push_back(std::move(s));
   };
 
-  // Dependency counting: a supernode becomes ready when all children are
-  // done; leaves are seeded directly.
-  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(ns));
-  for (index_t s = 0; s < ns; ++s) {
-    pending[s].store(static_cast<index_t>(children[s].size()));
-  }
-
-  // The recursive task body: run this supernode, then maybe enqueue parent.
-  std::function<void(index_t)> run_supernode = [&](index_t s) {
-    auto scratch = acquire_scratch();
-    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
-                            update_of[s], *scratch, kind, d);
-    release_scratch(std::move(scratch));
+  auto finish_supernode = [&](index_t s) {
     mem.add(update_of[s].size() * sizeof(real_t));
     for (index_t c : children[s]) {
       mem.sub(update_of[c].size() * sizeof(real_t));
       update_of[c] = {};
     }
+  };
+
+  // Phase 1 — dependency counting: a supernode becomes ready when all
+  // children are done; leaves are seeded directly. Propagation stops at the
+  // phase boundary.
+  std::vector<std::atomic<index_t>> pending(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) {
+    pending[s].store(static_cast<index_t>(children[s].size()));
+  }
+  std::function<void(index_t)> run_supernode = [&](index_t s) {
+    auto scratch = acquire_scratch();
+    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
+                            update_of[s], *scratch, kind, d);
+    release_scratch(std::move(scratch));
+    finish_supernode(s);
     const index_t parent = sym.sn_parent[s];
-    if (parent != kNone && pending[parent].fetch_sub(1) == 1) {
+    if (parent != kNone && tasked[parent] &&
+        pending[parent].fetch_sub(1) == 1) {
       pool.submit([&run_supernode, parent] { run_supernode(parent); });
     }
   };
-
   for (index_t s = 0; s < ns; ++s) {
-    if (children[s].empty()) {
+    if (tasked[s] && children[s].empty()) {
       pool.submit([&run_supernode, s] { run_supernode(s); });
     }
   }
   pool.wait();
+
+  // Phase 2 — cooperative top of the tree: postorder on the calling thread
+  // (children of any remaining supernode are already done), every front's
+  // TRSM/SYRK/GEMM row-split across the pool.
+  detail::FrontScratch scratch(sym.n);
+  for (index_t s = 0; s < ns; ++s) {
+    if (tasked[s]) continue;
+    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
+                            update_of[s], scratch, kind, d, &pool);
+    finish_supernode(s);
+  }
 
   if (stats != nullptr) {
     stats->seconds = timer.seconds();

@@ -28,13 +28,25 @@ enum class FactorKind {
     const SymbolicFactor& sym, FactorStats* stats = nullptr,
     FactorKind kind = FactorKind::kCholesky);
 
-/// Tree-parallel multifrontal factorization: supernode tasks run on `pool`
-/// as soon as all their children finish. Bitwise behaviour matches the
-/// serial code except for the usual floating-point reassociation caused by
-/// children extend-adds arriving in nondeterministic order being *avoided*:
-/// extend-add order is fixed by child index, so results are deterministic.
+/// A front whose factorization flops reach this threshold is executed
+/// cooperatively (all workers split its TRSM/SYRK/GEMM row ranges) instead
+/// of as a single supernode task. ~20 Mflop is a few milliseconds on the
+/// packed kernel engine — large enough that the row-split barrier cost
+/// vanishes, small enough that the top of a 3-D assembly tree is covered.
+inline constexpr count_t kCoopFrontFlops = 20'000'000;
+
+/// Shared-memory parallel multifrontal factorization, the in-core analogue
+/// of the paper's subtree-to-subcube mapping: maximal subtrees made of
+/// "light" fronts (< `coop_flops` each) run as independent supernode tasks
+/// (tree parallelism), while the remaining top-of-tree fronts — where tree
+/// parallelism has run out but most flops live — are processed one at a
+/// time with every worker cooperating on the front's row range
+/// (intra-front parallelism). Extend-add order is fixed by child index and
+/// the parallel kernels are bitwise identical to the serial ones, so the
+/// factor matches multifrontal_factor exactly, independent of thread count.
 [[nodiscard]] CholeskyFactor multifrontal_factor_parallel(
     const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
-    FactorKind kind = FactorKind::kCholesky);
+    FactorKind kind = FactorKind::kCholesky,
+    count_t coop_flops = kCoopFrontFlops);
 
 }  // namespace parfact

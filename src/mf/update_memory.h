@@ -1,0 +1,27 @@
+// Internal: thread-safe peak tracker for live update-block bytes, shared by
+// the serial and shared-memory multifrontal drivers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace parfact::detail {
+
+/// Tracks live update-block bytes and their peak across the run.
+class UpdateMemory {
+ public:
+  void add(std::size_t bytes) {
+    const std::size_t now = live_.fetch_add(bytes) + bytes;
+    std::size_t peak = peak_.load();
+    while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+    }
+  }
+  void sub(std::size_t bytes) { live_.fetch_sub(bytes); }
+  [[nodiscard]] std::size_t peak() const { return peak_.load(); }
+
+ private:
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+}  // namespace parfact::detail

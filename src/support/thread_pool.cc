@@ -68,20 +68,35 @@ void ThreadPool::worker_loop() {
 }
 
 void parallel_for(ThreadPool& pool, index_t begin, index_t end,
-                  const std::function<void(index_t)>& body) {
+                  const std::function<void(index_t)>& body,
+                  index_t min_grain) {
   if (begin >= end) return;
   const index_t n = end - begin;
-  const index_t chunks = std::min<index_t>(n, static_cast<index_t>(pool.size()));
-  const index_t chunk = (n + chunks - 1) / chunks;
-  for (index_t c = 0; c < chunks; ++c) {
+  // One chunk per worker load-imbalances badly when per-index costs are
+  // skewed (e.g. supernode subtrees); ~4 chunks per worker lets fast
+  // workers steal the tail, while min_grain caps the scheduling overhead.
+  const index_t target = 4 * static_cast<index_t>(pool.size());
+  const index_t chunk =
+      std::max<index_t>(std::max<index_t>(min_grain, 1),
+                        (n + target - 1) / target);
+  const index_t chunks = (n + chunk - 1) / chunk;
+  for (index_t c = 1; c < chunks; ++c) {
     const index_t lo = begin + c * chunk;
     const index_t hi = std::min<index_t>(lo + chunk, end);
-    if (lo >= hi) break;
     pool.submit([lo, hi, &body] {
       for (index_t i = lo; i < hi; ++i) body(i);
     });
   }
-  pool.wait();
+  // The calling thread works the first chunk instead of blocking idle.
+  std::exception_ptr local;
+  try {
+    const index_t hi = std::min<index_t>(begin + chunk, end);
+    for (index_t i = begin; i < hi; ++i) body(i);
+  } catch (...) {
+    local = std::current_exception();
+  }
+  pool.wait();  // must not return while tasks still reference `body`
+  if (local) std::rethrow_exception(local);
 }
 
 }  // namespace parfact

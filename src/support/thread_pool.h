@@ -50,9 +50,13 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Runs body(i) for i in [begin, end) across the pool, splitting the range
-/// into contiguous chunks (one per worker by default). Blocks until done.
+/// Runs body(i) for i in [begin, end) across the pool. The range is split
+/// into roughly 4 chunks per worker (never smaller than `min_grain`
+/// indices) so that skewed per-index costs still load-balance; the calling
+/// thread executes the first chunk itself instead of idling. Blocks until
+/// done and rethrows the first exception raised by any chunk.
 void parallel_for(ThreadPool& pool, index_t begin, index_t end,
-                  const std::function<void(index_t)>& body);
+                  const std::function<void(index_t)>& body,
+                  index_t min_grain = 1);
 
 }  // namespace parfact

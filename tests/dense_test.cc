@@ -8,6 +8,7 @@
 #include "dense/kernels.h"
 #include "dense/matrix_view.h"
 #include "support/prng.h"
+#include "support/thread_pool.h"
 
 namespace parfact {
 namespace {
@@ -68,7 +69,7 @@ TEST_P(PotrfTest, ReconstructsMatrix) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PotrfTest,
                          ::testing::Values(1, 2, 3, 7, 16, 33, 64, 65, 100,
-                                           150));
+                                           150, 260));
 
 TEST(Potrf, DetectsNonSpd) {
   Dense a(3, 3);
@@ -205,6 +206,17 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{65, 70, 130}, GemmShape{1, 40, 8},
                       GemmShape{40, 1, 8}));
 
+// Shapes chosen to hit the packed engine's blocking edges: primes not
+// divisible by MR/NR/MC/KC, exact multiples, a KC boundary straddle, and
+// degenerate tall/flat panels. The small shapes above stay on the fallback
+// loops; everything here goes through pack + micro-kernel dispatch.
+INSTANTIATE_TEST_SUITE_P(
+    EngineShapes, GemmTest,
+    ::testing::Values(GemmShape{257, 263, 300}, GemmShape{96, 96, 256},
+                      GemmShape{97, 101, 257}, GemmShape{8, 6, 512},
+                      GemmShape{200, 5, 300}, GemmShape{7, 200, 300},
+                      GemmShape{1, 1, 2048}));
+
 TEST(Syrk, MatchesReferenceLowerOnly) {
   const index_t n = 50, k = 30;
   Dense c = random_matrix(n, n, 41);
@@ -224,6 +236,102 @@ TEST(Syrk, MatchesReferenceLowerOnly) {
     }
   }
 }
+
+TEST(Syrk, EngineSizedMatchesReference) {
+  // Large enough that the packed engine (gemm strip + triangular diagonal
+  // tiles) handles it, with n, k off every blocking boundary.
+  const index_t n = 201, k = 129;
+  Dense c = random_matrix(n, n, 43);
+  const Dense c0 = c;
+  const Dense a = random_matrix(n, k, 44);
+  syrk_lower_update(c.view(), a.cview());
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (j > i) {
+        EXPECT_EQ(c.at(i, j), c0.at(i, j));
+        continue;
+      }
+      real_t s = c0.at(i, j);
+      for (index_t kk = 0; kk < k; ++kk) s -= a.at(i, kk) * a.at(j, kk);
+      EXPECT_NEAR(c.at(i, j), s, 1e-11 * (k + 1));
+    }
+  }
+}
+
+TEST(Trsm, EngineSizedRightLowerTransSolves) {
+  // Engages the blocked TRSM path (n > block size) with a GEMM-updated
+  // left part per column block.
+  const index_t n = 150, m = 300;
+  Dense l = random_matrix(n, n, 45);
+  for (index_t j = 0; j < n; ++j) {
+    l.at(j, j) = 2.0 + std::abs(l.at(j, j));
+    for (index_t i = 0; i < j; ++i) l.at(i, j) = 0.0;
+  }
+  const Dense b0 = random_matrix(m, n, 46);
+  Dense b = b0;
+  trsm_right_lower_trans(l.cview(), b.view());
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      real_t s = 0.0;
+      for (index_t k = 0; k <= j; ++k) s += b.at(i, k) * l.at(j, k);
+      EXPECT_NEAR(s, b0.at(i, j), 1e-9);
+    }
+  }
+}
+
+// --- Pool variants: must be bitwise identical to the serial kernels ---------
+//
+// The engine's per-element summation order depends only on how k is cut
+// into KC blocks, never on how rows are split, so handing a pool to a
+// kernel must not change a single bit of the result.
+
+class PoolKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolKernelTest, GemmNtBitwiseEqualsSerial) {
+  ThreadPool pool(GetParam());
+  const index_t m = 300, n = 200, k = 160;
+  Dense cs = random_matrix(m, n, 61);
+  Dense cp = cs;
+  const Dense a = random_matrix(m, k, 62);
+  const Dense b = random_matrix(n, k, 63);
+  gemm_nt_update(cs.view(), a.cview(), b.cview());
+  gemm_nt_update(cp.view(), a.cview(), b.cview(), &pool);
+  for (std::size_t i = 0; i < cs.v.size(); ++i) {
+    ASSERT_EQ(cs.v[i], cp.v[i]) << "flat index " << i;
+  }
+}
+
+TEST_P(PoolKernelTest, SyrkBitwiseEqualsSerial) {
+  ThreadPool pool(GetParam());
+  const index_t n = 280, k = 170;
+  Dense cs = random_matrix(n, n, 64);
+  Dense cp = cs;
+  const Dense a = random_matrix(n, k, 65);
+  syrk_lower_update(cs.view(), a.cview());
+  syrk_lower_update(cp.view(), a.cview(), &pool);
+  for (std::size_t i = 0; i < cs.v.size(); ++i) {
+    ASSERT_EQ(cs.v[i], cp.v[i]) << "flat index " << i;
+  }
+}
+
+TEST_P(PoolKernelTest, TrsmBitwiseEqualsSerial) {
+  ThreadPool pool(GetParam());
+  const index_t n = 140, m = 400;
+  Dense l = random_matrix(n, n, 66);
+  for (index_t j = 0; j < n; ++j) {
+    l.at(j, j) = 2.0 + std::abs(l.at(j, j));
+    for (index_t i = 0; i < j; ++i) l.at(i, j) = 0.0;
+  }
+  Dense bs = random_matrix(m, n, 67);
+  Dense bp = bs;
+  trsm_right_lower_trans(l.cview(), bs.view());
+  trsm_right_lower_trans(l.cview(), bp.view(), &pool);
+  for (std::size_t i = 0; i < bs.v.size(); ++i) {
+    ASSERT_EQ(bs.v[i], bp.v[i]) << "flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PoolKernelTest, ::testing::Values(1, 2, 5));
 
 TEST(Views, BlockIndexing) {
   Dense d = random_matrix(6, 5, 51);

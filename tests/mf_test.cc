@@ -143,6 +143,48 @@ TEST_P(ParallelFactorTest, MatchesSerialBitwise) {
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelFactorTest,
                          ::testing::Values(1, 2, 4, 8));
 
+TEST(ParallelFactor, CooperativePathMatchesSerialBitwise) {
+  // coop_flops = 0 pushes every supernode into the cooperative phase, so
+  // this exercises the pool-split TRSM/SYRK row partitioning on every
+  // front. The intra-front split must not change the summation order, so
+  // the result has to be bitwise identical to the serial factorization.
+  const SparseMatrix a = grid_laplacian_3d(7, 7, 7, 7);
+  const SymbolicFactor sym = analyze(a);
+  const CholeskyFactor serial = multifrontal_factor(sym);
+  ThreadPool pool(4);
+  const CholeskyFactor par = multifrontal_factor_parallel(
+      sym, pool, nullptr, FactorKind::kCholesky, /*coop_flops=*/0);
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const ConstMatrixView ps = serial.panel(s);
+    const ConstMatrixView pp = par.panel(s);
+    for (index_t j = 0; j < ps.cols; ++j) {
+      for (index_t i = j; i < ps.rows; ++i) {
+        ASSERT_EQ(ps.at(i, j), pp.at(i, j)) << "sn " << s;
+      }
+    }
+  }
+}
+
+TEST(ParallelFactor, MixedPhasesMatchSerialBitwise) {
+  // A mid-range threshold makes phase 1 (task-per-supernode subtrees) and
+  // phase 2 (cooperative top of the tree) both non-trivial.
+  const SparseMatrix a = grid_laplacian_3d(8, 8, 8, 7);
+  const SymbolicFactor sym = analyze(a);
+  const CholeskyFactor serial = multifrontal_factor(sym);
+  ThreadPool pool(3);
+  const CholeskyFactor par = multifrontal_factor_parallel(
+      sym, pool, nullptr, FactorKind::kCholesky, /*coop_flops=*/100'000);
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const ConstMatrixView ps = serial.panel(s);
+    const ConstMatrixView pp = par.panel(s);
+    for (index_t j = 0; j < ps.cols; ++j) {
+      for (index_t i = j; i < ps.rows; ++i) {
+        ASSERT_EQ(ps.at(i, j), pp.at(i, j)) << "sn " << s;
+      }
+    }
+  }
+}
+
 TEST(ParallelFactor, PropagatesNotSpd) {
   TripletBuilder b(5, 5);
   for (index_t j = 0; j < 5; ++j) b.add(j, j, 1.0);
