@@ -1,7 +1,9 @@
 #include "api/solver.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "baseline/iccg.h"
 #include "graph/graph.h"
 #include "mf/multifrontal.h"
 #include "solve/condest.h"
@@ -72,19 +74,25 @@ void Solver::analyze(const SparseMatrix& lower) {
   report_.analyze_seconds = timer.seconds();
 }
 
-void Solver::factorize() {
+Status Solver::factorize() {
   PARFACT_CHECK_MSG(sym_.has_value(), "factorize() before analyze()");
   FactorStats stats;
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
   if (options_.threads > 1) {
     ThreadPool pool(options_.threads);
     factor_.emplace(multifrontal_factor_parallel(*sym_, pool, &stats,
-                                                 options_.factor_kind));
+                                                 options_.factor_kind,
+                                                 kCoopFrontFlops, pivot));
   } else {
     factor_.emplace(
-        multifrontal_factor(*sym_, &stats, options_.factor_kind));
+        multifrontal_factor(*sym_, &stats, options_.factor_kind, pivot));
   }
   report_.factor_seconds = stats.seconds;
   report_.peak_update_bytes = stats.peak_update_bytes;
+  report_.pivot_perturbations = stats.pivot_perturbations;
+  return Status::success(stats.pivot_perturbations);
 }
 
 std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
@@ -138,6 +146,91 @@ std::vector<real_t> Solver::solve_refined(std::span<const real_t> b) const {
 real_t Solver::residual(std::span<const real_t> x,
                         std::span<const real_t> b) const {
   return relative_residual(original_lower_, x, b);
+}
+
+const char* solve_path_name(SolvePath path) {
+  switch (path) {
+    case SolvePath::kNone: return "none";
+    case SolvePath::kDirect: return "direct";
+    case SolvePath::kRefined: return "refined";
+    case SolvePath::kIterativeFallback: return "iterative-fallback";
+  }
+  return "unknown";
+}
+
+RobustSolveResult Solver::solve_robust(std::span<const real_t> b) const {
+  PARFACT_CHECK_MSG(factor_.has_value(), "solve_robust() before factorize()");
+  const Status factor_status =
+      Status::success(report_.pivot_perturbations);
+  RobustSolveResult result;
+
+  // Cheapest first: plain direct solve.
+  result.x = solve(b);
+  result.path = SolvePath::kDirect;
+  result.residual = residual(result.x, b);
+  if (result.residual <= options_.target_residual) {
+    result.status = factor_status;
+    return result;
+  }
+
+  // Iterative refinement against the original matrix.
+  {
+    std::vector<real_t> refined = solve_refined(b);
+    const real_t res = residual(refined, b);
+    if (res < result.residual) {
+      result.x = std::move(refined);
+      result.residual = res;
+      result.path = SolvePath::kRefined;
+    }
+    if (result.residual <= options_.target_residual) {
+      result.status = factor_status;
+      return result;
+    }
+  }
+
+  // Last resort: IC(0)-preconditioned CG on the original matrix,
+  // warm-started from the best direct answer. IC(0) runs with pivot
+  // boosting so a perturbed/indefinite-leaning matrix still yields a
+  // usable preconditioner; if it breaks down anyway, fall back to
+  // unpreconditioned CG.
+  {
+    std::vector<real_t> x_cg = result.x;
+    std::optional<SparseMatrix> ic0;
+    try {
+      PivotPolicy pivot;
+      pivot.boost = true;
+      pivot.threshold = options_.pivot_threshold;
+      count_t ic0_perturbations = 0;
+      ic0.emplace(
+          incomplete_cholesky0(original_lower_, pivot, &ic0_perturbations));
+    } catch (const Error&) {
+      ic0.reset();
+    }
+    try {
+      const CgResult cg = conjugate_gradient(
+          original_lower_, b, x_cg, ic0 ? &*ic0 : nullptr,
+          options_.cg_max_iterations, options_.target_residual);
+      result.iterations = cg.iterations;
+      const real_t res = residual(x_cg, b);
+      if (res < result.residual) {
+        result.x = std::move(x_cg);
+        result.residual = res;
+        result.path = SolvePath::kIterativeFallback;
+      }
+    } catch (const Error&) {
+      // CG hit an indefinite direction: keep the best answer so far.
+    }
+  }
+
+  if (result.residual <= options_.target_residual) {
+    result.status = factor_status;
+  } else {
+    result.status = Status::failure(
+        StatusCode::kNoConvergence,
+        "solve_robust: no escalation path reached the target residual");
+    result.status.perturbations = factor_status.perturbations;
+  }
+  return result;
 }
 
 real_t Solver::condition_estimate() const {

@@ -36,6 +36,15 @@ struct SolverOptions {
   /// Cholesky for SPD input; LDLᵀ (no pivoting) for symmetric
   /// quasi-definite input such as KKT saddle-point systems.
   FactorKind factor_kind = FactorKind::kCholesky;
+  /// Static pivoting: tiny/non-positive pivots are boosted to
+  /// sqrt(eps)·max|A| (sign-preserving for LDLᵀ) instead of aborting the
+  /// factorization. The perturbation count is surfaced in the report and
+  /// the factorize() Status; accuracy is recovered by refinement or the
+  /// solve_robust() escalation. Set false to restore throw-on-breakdown.
+  bool static_pivoting = true;
+  real_t pivot_threshold = 0.0;   ///< boost threshold; 0 = sqrt(eps)·max|A|
+  real_t target_residual = 1e-10; ///< solve_robust() acceptance residual
+  int cg_max_iterations = 500;    ///< solve_robust() fallback CG budget
 };
 
 /// Summary of the last analyze/factorize, in the units the paper reports.
@@ -48,6 +57,22 @@ struct SolverReport {
   double analyze_seconds = 0.0;
   double factor_seconds = 0.0;
   std::size_t peak_update_bytes = 0;
+  count_t pivot_perturbations = 0;  ///< static-pivot boosts in factorize()
+};
+
+/// Which path of the solve_robust() escalation produced the answer.
+enum class SolvePath { kNone, kDirect, kRefined, kIterativeFallback };
+
+[[nodiscard]] const char* solve_path_name(SolvePath path);
+
+/// Result of the escalating solve: the cheapest path that met
+/// options.target_residual, or the best effort with a diagnosing status.
+struct RobustSolveResult {
+  std::vector<real_t> x;          ///< best solution found (original ordering)
+  Status status;                  ///< kOk/kPerturbed, or kNoConvergence
+  SolvePath path = SolvePath::kNone;
+  real_t residual = 0.0;          ///< scaled residual of x
+  int iterations = 0;             ///< CG iterations (fallback path only)
 };
 
 class Solver {
@@ -61,8 +86,12 @@ class Solver {
   /// with a fully populated diagonal. Keeps a permuted copy internally.
   void analyze(const SparseMatrix& lower);
 
-  /// Numeric phase; requires analyze() first. Throws on non-SPD input.
-  void factorize();
+  /// Numeric phase; requires analyze() first. With options.static_pivoting
+  /// (the default) breakdown pivots are boosted and reported through the
+  /// returned Status (kOk, or kPerturbed with the perturbation count)
+  /// instead of throwing; with static_pivoting=false a non-SPD/-factorizable
+  /// matrix throws parfact::Error as before.
+  Status factorize();
 
   /// Solves A x = b in the caller's original ordering; requires factorize().
   [[nodiscard]] std::vector<real_t> solve(std::span<const real_t> b) const;
@@ -76,6 +105,16 @@ class Solver {
   /// Solve with iterative refinement (options.refinement_steps iterations).
   [[nodiscard]] std::vector<real_t> solve_refined(
       std::span<const real_t> b) const;
+
+  /// Escalating solve for perturbed or ill-conditioned factorizations:
+  /// tries the plain direct solve, then iterative refinement, then an
+  /// IC(0)-preconditioned CG fallback (warm-started from the best direct
+  /// answer), stopping at the cheapest path whose scaled residual
+  /// ‖b−Ax‖∞/(‖A‖∞‖x‖∞+‖b‖∞) meets options.target_residual. Always
+  /// returns the best x found; status is kNoConvergence if no path met
+  /// the target.
+  [[nodiscard]] RobustSolveResult solve_robust(std::span<const real_t> b)
+      const;
 
   /// Relative residual of a candidate solution in original ordering.
   [[nodiscard]] real_t residual(std::span<const real_t> x,

@@ -12,16 +12,26 @@
 
 namespace parfact {
 
-SparseMatrix incomplete_cholesky0(const SparseMatrix& lower) {
+SparseMatrix incomplete_cholesky0(const SparseMatrix& lower,
+                                  PivotPolicy pivot,
+                                  count_t* perturbations) {
   PARFACT_CHECK(lower.rows == lower.cols);
+  pivot = resolve_pivot_policy(pivot, lower);
+  count_t boosted = 0;
   SparseMatrix l = lower;  // same pattern, values overwritten in place
   const index_t n = l.cols;
   for (index_t j = 0; j < n; ++j) {
     const index_t p0 = l.col_ptr[j];
     PARFACT_CHECK_MSG(l.row_ind[p0] == j, "missing diagonal in column " << j);
-    const real_t diag = l.values[p0];
-    PARFACT_CHECK_MSG(diag > 0.0 && std::isfinite(diag),
+    real_t diag = l.values[p0];
+    PARFACT_CHECK_MSG(std::isfinite(diag),
                       "IC(0) pivot breakdown at column " << j);
+    if (diag <= 0.0 || (pivot.boost && diag <= pivot.threshold)) {
+      PARFACT_CHECK_MSG(pivot.boost,
+                        "IC(0) pivot breakdown at column " << j);
+      diag = pivot.value;
+      ++boosted;
+    }
     const real_t d = std::sqrt(diag);
     l.values[p0] = d;
     for (index_t p = p0 + 1; p < l.col_ptr[j + 1]; ++p) l.values[p] /= d;
@@ -44,6 +54,7 @@ SparseMatrix incomplete_cholesky0(const SparseMatrix& lower) {
       }
     }
   }
+  if (perturbations != nullptr) *perturbations = boosted;
   return l;
 }
 

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "mf/factor.h"
+#include "mf/multifrontal.h"
 #include "sparse/sparse_matrix.h"
 #include "support/types.h"
 
@@ -14,8 +15,13 @@ namespace parfact {
 /// IC(0): incomplete Cholesky restricted to the pattern of the lower
 /// triangle of A. Returns L (lower-stored CSC, same pattern as the input).
 /// Throws parfact::Error on pivot breakdown (cannot happen for the
-/// diagonally dominant / M-matrix problems of the suite).
-[[nodiscard]] SparseMatrix incomplete_cholesky0(const SparseMatrix& lower);
+/// diagonally dominant / M-matrix problems of the suite) unless `pivot`
+/// enables boosting, in which case tiny/non-positive pivots are replaced
+/// and counted in `*perturbations` — this is what lets the IC(0)-CG
+/// escalation fallback precondition near-singular matrices.
+[[nodiscard]] SparseMatrix incomplete_cholesky0(
+    const SparseMatrix& lower, PivotPolicy pivot = {},
+    count_t* perturbations = nullptr);
 
 struct CgResult {
   int iterations = 0;

@@ -10,8 +10,11 @@
 namespace parfact {
 
 CholeskyFactor left_looking_factor(const SymbolicFactor& sym,
-                                   FactorStats* stats) {
+                                   FactorStats* stats, PivotPolicy pivot) {
   WallTimer timer;
+  pivot = resolve_pivot_policy(pivot, sym.a);
+  PivotBoost boost{pivot.threshold, pivot.value, 0};
+  PivotBoost* boost_ptr = pivot.boost ? &boost : nullptr;
   const index_t ns = sym.n_supernodes;
   CholeskyFactor factor(sym);
 
@@ -97,7 +100,7 @@ CholeskyFactor left_looking_factor(const SymbolicFactor& sym,
 
     // Eliminate the panel.
     MatrixView l11 = panel.block(0, 0, p, p);
-    const index_t info = potrf_lower(l11);
+    const index_t info = potrf_lower(l11, boost_ptr);
     PARFACT_CHECK_MSG(info == kNone,
                       "matrix is not positive definite at column "
                           << first + info << " (postordered)");
@@ -117,6 +120,7 @@ CholeskyFactor left_looking_factor(const SymbolicFactor& sym,
     stats->seconds = timer.seconds();
     stats->flops = sym.total_flops;
     stats->peak_update_bytes = 0;  // the left-looking method has no stack
+    stats->pivot_perturbations = boost.count;
   }
   return factor;
 }

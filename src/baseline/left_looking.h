@@ -12,14 +12,18 @@
 #pragma once
 
 #include "mf/factor.h"
+#include "mf/multifrontal.h"
 #include "symbolic/symbolic_factor.h"
 
 namespace parfact {
 
 /// Left-looking supernodal factorization of sym.a. The result is
 /// numerically equivalent to multifrontal_factor (same panels, different
-/// summation order). Throws parfact::Error if the matrix is not SPD.
+/// summation order). Throws parfact::Error if the matrix is not SPD,
+/// unless `pivot` enables boosting (counts reported via
+/// stats->pivot_perturbations).
 [[nodiscard]] CholeskyFactor left_looking_factor(const SymbolicFactor& sym,
-                                                 FactorStats* stats = nullptr);
+                                                 FactorStats* stats = nullptr,
+                                                 PivotPolicy pivot = {});
 
 }  // namespace parfact

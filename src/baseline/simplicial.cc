@@ -13,9 +13,11 @@
 namespace parfact {
 
 SparseMatrix simplicial_cholesky(const SparseMatrix& lower,
-                                 SimplicialStats* stats) {
+                                 SimplicialStats* stats, PivotPolicy pivot) {
   WallTimer timer;
   PARFACT_CHECK(lower.rows == lower.cols);
+  pivot = resolve_pivot_policy(pivot, lower);
+  count_t perturbations = 0;
   const index_t n = lower.rows;
   const std::vector<index_t> parent = elimination_tree(lower);
   const std::vector<index_t> counts = cholesky_col_counts(lower, parent);
@@ -81,9 +83,15 @@ SparseMatrix simplicial_cholesky(const SparseMatrix& lower,
       }
     }
 
-    const real_t diag = x[j];
-    PARFACT_CHECK_MSG(diag > 0.0 && std::isfinite(diag),
+    real_t diag = x[j];
+    PARFACT_CHECK_MSG(std::isfinite(diag),
                       "matrix is not positive definite at column " << j);
+    if (diag <= 0.0 || (pivot.boost && diag <= pivot.threshold)) {
+      PARFACT_CHECK_MSG(pivot.boost,
+                        "matrix is not positive definite at column " << j);
+      diag = pivot.value;
+      ++perturbations;
+    }
     const real_t dsqrt = std::sqrt(diag);
 
     // Column j's symbolic pattern is the union of A(j:n, j) and each
@@ -118,6 +126,7 @@ SparseMatrix simplicial_cholesky(const SparseMatrix& lower,
   if (stats != nullptr) {
     stats->nnz_l = l.nnz();
     stats->seconds = timer.seconds();
+    stats->pivot_perturbations = perturbations;
   }
   return l;
 }

@@ -6,6 +6,7 @@
 
 #include <span>
 
+#include "mf/multifrontal.h"
 #include "sparse/sparse_matrix.h"
 #include "support/types.h"
 
@@ -14,14 +15,17 @@ namespace parfact {
 struct SimplicialStats {
   count_t nnz_l = 0;
   double seconds = 0.0;
+  count_t pivot_perturbations = 0;
 };
 
 /// Left-looking column Cholesky of a lower-stored SPD matrix. Returns L
 /// (lower-stored CSC with sorted rows, diagonal first in each column).
-/// Throws parfact::Error if a non-positive pivot appears.
+/// Throws parfact::Error if a non-positive pivot appears, unless `pivot`
+/// enables boosting (counts land in stats->pivot_perturbations).
 [[nodiscard]] SparseMatrix simplicial_cholesky(const SparseMatrix& lower,
                                                SimplicialStats* stats =
-                                                   nullptr);
+                                                   nullptr,
+                                               PivotPolicy pivot = {});
 
 /// x := L⁻¹ x for a lower-stored CSC factor.
 void simplicial_forward_solve(const SparseMatrix& l, std::span<real_t> x);

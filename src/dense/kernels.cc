@@ -44,12 +44,17 @@ bool use_engine(index_t n_logical, index_t k) {
 }
 
 /// Unblocked Cholesky on a small lower triangle.
-index_t potrf_lower_unblocked(MatrixView a) {
+index_t potrf_lower_unblocked(MatrixView a, PivotBoost* boost) {
   PARFACT_CHECK(a.rows == a.cols);
   const index_t n = a.rows;
   for (index_t k = 0; k < n; ++k) {
     real_t d = a.at(k, k);
-    if (d <= 0.0 || !std::isfinite(d)) return k;
+    if (!std::isfinite(d)) return k;
+    if (d <= 0.0 || (boost != nullptr && d <= boost->threshold)) {
+      if (boost == nullptr) return k;
+      d = boost->value;
+      ++boost->count;
+    }
     d = std::sqrt(d);
     a.at(k, k) = d;
     const real_t inv = 1.0 / d;
@@ -63,15 +68,16 @@ index_t potrf_lower_unblocked(MatrixView a) {
   return kNone;
 }
 
-index_t potrf_lower_blocked(MatrixView a, index_t nb) {
+index_t potrf_lower_blocked(MatrixView a, index_t nb, PivotBoost* boost) {
   const index_t n = a.rows;
-  if (n <= kPotrfUnblocked) return potrf_lower_unblocked(a);
+  if (n <= kPotrfUnblocked) return potrf_lower_unblocked(a, boost);
   for (index_t k = 0; k < n; k += nb) {
     const index_t cb = std::min(nb, n - k);
     MatrixView akk = a.block(k, k, cb, cb);
-    const index_t info = cb <= kPotrfUnblocked
-                             ? potrf_lower_unblocked(akk)
-                             : potrf_lower_blocked(akk, kPotrfUnblocked);
+    const index_t info =
+        cb <= kPotrfUnblocked
+            ? potrf_lower_unblocked(akk, boost)
+            : potrf_lower_blocked(akk, kPotrfUnblocked, boost);
     if (info != kNone) return k + info;
     const index_t rest = n - k - cb;
     if (rest == 0) continue;
@@ -155,7 +161,7 @@ index_t slab_count(count_t flops, index_t rows, const ThreadPool* pool) {
 
 }  // namespace
 
-index_t ldlt_lower(MatrixView a, std::span<real_t> d) {
+index_t ldlt_lower(MatrixView a, std::span<real_t> d, PivotBoost* boost) {
   PARFACT_CHECK(a.rows == a.cols);
   PARFACT_CHECK(static_cast<index_t>(d.size()) == a.rows);
   const index_t n = a.rows;
@@ -163,8 +169,14 @@ index_t ldlt_lower(MatrixView a, std::span<real_t> d) {
   // diagonal blocks (<= a few hundred columns); a cache-friendly kij loop
   // suffices.
   for (index_t k = 0; k < n; ++k) {
-    const real_t dk = a.at(k, k);
-    if (dk == 0.0 || !std::isfinite(dk)) return k;
+    real_t dk = a.at(k, k);
+    if (!std::isfinite(dk)) return k;
+    if (dk == 0.0 || (boost != nullptr && std::abs(dk) <= boost->threshold)) {
+      if (boost == nullptr) return k;
+      // Sign-preserving boost keeps the inertia of quasi-definite inputs.
+      dk = dk < 0.0 ? -boost->value : boost->value;
+      ++boost->count;
+    }
     d[k] = dk;
     a.at(k, k) = 1.0;
     const real_t inv = 1.0 / dk;
@@ -178,9 +190,9 @@ index_t ldlt_lower(MatrixView a, std::span<real_t> d) {
   return kNone;
 }
 
-index_t potrf_lower(MatrixView a) {
+index_t potrf_lower(MatrixView a, PivotBoost* boost) {
   PARFACT_CHECK(a.rows == a.cols);
-  return potrf_lower_blocked(a, kPotrfBlock);
+  return potrf_lower_blocked(a, kPotrfBlock, boost);
 }
 
 void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {

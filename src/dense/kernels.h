@@ -26,16 +26,33 @@ namespace parfact {
 
 class ThreadPool;
 
+/// Static-pivoting hook for POTRF / LDLᵀ. When non-null, a pivot whose
+/// magnitude is at or below `threshold` is replaced by `value` (Cholesky) or
+/// by sign-preserving ±`value` (LDLᵀ) instead of aborting the factorization;
+/// each replacement increments `count`. Non-finite pivots are never boosted
+/// — they always abort. The SuperLU_DIST-style contract is
+/// threshold = value = sqrt(eps) * ||A||, with accuracy recovered by
+/// iterative refinement (see DESIGN.md "Robustness & failure model").
+struct PivotBoost {
+  real_t threshold = 0.0;
+  real_t value = 0.0;
+  count_t count = 0;
+};
+
 /// Cholesky of the lower triangle of `a` in place (a := L with A = L Lᵀ).
 /// Returns kNone on success, or the (0-based) column index of the first
 /// non-positive pivot (matrix not SPD), leaving `a` partially overwritten.
-index_t potrf_lower(MatrixView a);
+/// With `boost`, tiny/non-positive (but finite) pivots are replaced and
+/// counted instead of aborting.
+index_t potrf_lower(MatrixView a, PivotBoost* boost = nullptr);
 
 /// LDLᵀ of the lower triangle of `a` in place, without pivoting: a := L
 /// (unit diagonal stored as 1.0) and d := diag(D). Suitable for symmetric
 /// quasi-definite / strongly factorizable matrices; returns kNone on
-/// success or the column of the first zero pivot.
-index_t ldlt_lower(MatrixView a, std::span<real_t> d);
+/// success or the column of the first zero pivot. With `boost`, tiny
+/// (but finite) pivots are replaced sign-preservingly and counted.
+index_t ldlt_lower(MatrixView a, std::span<real_t> d,
+                   PivotBoost* boost = nullptr);
 
 /// b := b * l⁻ᵀ where l is lower triangular (unit diagonal NOT assumed).
 /// This is the panel update below a factorized diagonal block.

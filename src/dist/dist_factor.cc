@@ -1,13 +1,16 @@
 #include "dist/dist_factor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "dense/kernels.h"
 #include "dist/front_blocks.h"
 #include "support/error.h"
+#include "support/status.h"
 #include "symbolic/symbolic_factor.h"
 
 namespace parfact {
@@ -85,9 +88,9 @@ class RankProgram {
  public:
   RankProgram(const SymbolicFactor& sym, const FrontMap& map,
               CholeskyFactor& factor, mpsim::Comm& comm, FactorKind kind,
-              std::span<real_t> d)
+              std::span<real_t> d, const PivotPolicy& pivot)
       : sym_(sym), map_(map), factor_(factor), comm_(comm), kind_(kind),
-        d_(d) {
+        d_(d), pivot_(pivot), boost_{pivot.threshold, pivot.value, 0} {
     children_.resize(static_cast<std::size_t>(sym.n_supernodes));
     for (index_t s = 0; s < sym.n_supernodes; ++s) {
       if (sym.sn_parent[s] != kNone) {
@@ -102,6 +105,10 @@ class RankProgram {
       process_front(s);
     }
   }
+
+  /// Pivots this rank boosted (each diagonal block is factorized on exactly
+  /// one rank, so the per-rank counts sum to the global count).
+  [[nodiscard]] count_t perturbations() const { return boost_.count; }
 
  private:
   void process_front(index_t s) {
@@ -197,18 +204,27 @@ class RankProgram {
         // In LDLᵀ mode the broadcast payload carries diag(D) appended.
         MatrixView dblk = front.block(kb, kb);
         const index_t col0 = sym_.sn_start[s] + fb.start(kb);
+        PivotBoost* boost = pivot_.boost ? &boost_ : nullptr;
         index_t info;
         if (ldlt) {
           info = ldlt_lower(dblk,
                             d_.subspan(static_cast<std::size_t>(col0),
-                                       static_cast<std::size_t>(bk)));
+                                       static_cast<std::size_t>(bk)),
+                            boost);
           dk.assign(d_.begin() + col0, d_.begin() + col0 + bk);
         } else {
-          info = potrf_lower(dblk);
+          info = potrf_lower(dblk, boost);
         }
-        PARFACT_CHECK_MSG(info == kNone,
-                          "bad pivot in front " << s << ", panel block "
-                                                << kb);
+        if (info != kNone) {
+          std::ostringstream os;
+          os << "bad pivot at column " << col0 + info
+             << " (postordered), supernode " << s << " (front order "
+             << sym_.front_order(s) << ", " << sym_.sn_cols(s)
+             << " columns), panel block " << kb << " on rank "
+             << comm_.rank();
+          throw StatusError(
+              Status::failure(StatusCode::kBreakdown, os.str(), s));
+        }
         comm_.advance_compute(partial_cholesky_flops(bk, bk));
         diag_buf.assign(dblk.data,
                         dblk.data + static_cast<std::size_t>(bk) * bk);
@@ -461,6 +477,8 @@ class RankProgram {
   mpsim::Comm& comm_;
   FactorKind kind_;
   std::span<real_t> d_;  ///< shared diag(D) output in LDLᵀ mode
+  PivotPolicy pivot_;
+  PivotBoost boost_;  ///< per-rank static-pivoting counter
   std::vector<std::vector<index_t>> children_;
 };
 
@@ -469,15 +487,42 @@ class RankProgram {
 DistFactorResult distributed_factor(const SymbolicFactor& sym,
                                     const FrontMap& map,
                                     const mpsim::MachineModel& model,
-                                    FactorKind kind) {
+                                    FactorKind kind, PivotPolicy pivot,
+                                    const mpsim::FaultPlan& faults) {
+  pivot = resolve_pivot_policy(pivot, sym.a);
   DistFactorResult result(sym);
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = result.factor.allocate_diag();
-  result.run = mpsim::run_spmd(map.n_ranks, model, [&](mpsim::Comm& comm) {
-    RankProgram program(sym, map, result.factor, comm, kind, d);
-    program.run();
-  });
+  std::atomic<count_t> perturbations{0};
+  result.run =
+      mpsim::run_spmd(map.n_ranks, model, faults, [&](mpsim::Comm& comm) {
+        RankProgram program(sym, map, result.factor, comm, kind, d, pivot);
+        program.run();
+        perturbations.fetch_add(program.perturbations(),
+                                std::memory_order_relaxed);
+      });
+  result.status =
+      Status::success(perturbations.load(std::memory_order_relaxed));
   return result;
+}
+
+DistFactorResult distributed_factor_checked(const SymbolicFactor& sym,
+                                            const FrontMap& map,
+                                            const mpsim::MachineModel& model,
+                                            FactorKind kind,
+                                            PivotPolicy pivot,
+                                            const mpsim::FaultPlan& faults) {
+  try {
+    return distributed_factor(sym, map, model, kind, pivot, faults);
+  } catch (const StatusError& e) {
+    DistFactorResult result(sym);
+    result.status = e.status();
+    return result;
+  } catch (const Error& e) {
+    DistFactorResult result(sym);
+    result.status = Status::failure(StatusCode::kInternal, e.what());
+    return result;
+  }
 }
 
 }  // namespace parfact

@@ -31,20 +31,37 @@ namespace parfact {
 
 struct DistFactorResult {
   /// Gathered factor (every rank deposits its panel blocks; the result is
-  /// identical in layout to the serial multifrontal factor).
+  /// identical in layout to the serial multifrontal factor). Meaningful
+  /// only when `status.ok()`.
   CholeskyFactor factor;
   /// Virtual-time and traffic statistics of the run.
   mpsim::RunStats run;
+  /// Outcome: kOk/kPerturbed (with the total pivot-perturbation count
+  /// across all ranks), or the failure that stopped the run.
+  Status status;
 
   DistFactorResult(const SymbolicFactor& sym) : factor(sym) {}
 };
 
 /// Runs the distributed factorization on map.n_ranks simulated ranks.
 /// Supports both Cholesky (SPD) and no-pivot LDLᵀ (symmetric
-/// quasi-definite); throws parfact::Error on a bad pivot.
+/// quasi-definite); throws parfact::Error (StatusError) on a bad pivot
+/// unless `pivot` enables boosting. With an active `faults` plan the
+/// mpsim retry protocol heals injected message faults — the factor is
+/// bitwise-identical to the fault-free run — or the run fails with a clean
+/// diagnosed StatusError, never a hang or a wrong answer.
 [[nodiscard]] DistFactorResult distributed_factor(
     const SymbolicFactor& sym, const FrontMap& map,
     const mpsim::MachineModel& model = {},
-    FactorKind kind = FactorKind::kCholesky);
+    FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
+    const mpsim::FaultPlan& faults = {});
+
+/// Non-throwing variant: failures land in `result.status` instead of
+/// propagating as exceptions.
+[[nodiscard]] DistFactorResult distributed_factor_checked(
+    const SymbolicFactor& sym, const FrontMap& map,
+    const mpsim::MachineModel& model = {},
+    FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
+    const mpsim::FaultPlan& faults = {});
 
 }  // namespace parfact

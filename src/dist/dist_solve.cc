@@ -363,16 +363,39 @@ DistSolveResult distributed_solve(const SymbolicFactor& sym,
                                   const FrontMap& map,
                                   const CholeskyFactor& factor,
                                   const std::vector<real_t>& b, index_t nrhs,
-                                  const mpsim::MachineModel& model) {
+                                  const mpsim::MachineModel& model,
+                                  const mpsim::FaultPlan& faults) {
   PARFACT_CHECK(static_cast<count_t>(b.size()) ==
                 static_cast<count_t>(sym.n) * nrhs);
   DistSolveResult result;
   result.x.assign(b.size(), 0.0);
-  result.run = mpsim::run_spmd(map.n_ranks, model, [&](mpsim::Comm& comm) {
-    SolveProgram program(sym, map, factor, b, nrhs, result.x, comm);
-    program.run();
-  });
+  result.run =
+      mpsim::run_spmd(map.n_ranks, model, faults, [&](mpsim::Comm& comm) {
+        SolveProgram program(sym, map, factor, b, nrhs, result.x, comm);
+        program.run();
+      });
+  result.status = Status::success();
   return result;
+}
+
+DistSolveResult distributed_solve_checked(const SymbolicFactor& sym,
+                                          const FrontMap& map,
+                                          const CholeskyFactor& factor,
+                                          const std::vector<real_t>& b,
+                                          index_t nrhs,
+                                          const mpsim::MachineModel& model,
+                                          const mpsim::FaultPlan& faults) {
+  try {
+    return distributed_solve(sym, map, factor, b, nrhs, model, faults);
+  } catch (const StatusError& e) {
+    DistSolveResult result;
+    result.status = e.status();
+    return result;
+  } catch (const Error& e) {
+    DistSolveResult result;
+    result.status = Status::failure(StatusCode::kInternal, e.what());
+    return result;
+  }
 }
 
 }  // namespace parfact

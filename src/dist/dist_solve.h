@@ -19,21 +19,35 @@
 #include "dist/mapping.h"
 #include "mf/factor.h"
 #include "mpsim/machine.h"
+#include "support/status.h"
 
 namespace parfact {
 
 struct DistSolveResult {
-  /// Solution, n x nrhs column-major (postordered index space).
+  /// Solution, n x nrhs column-major (postordered index space). Meaningful
+  /// only when `status.ok()`.
   std::vector<real_t> x;
   mpsim::RunStats run;
+  Status status;
 };
 
 /// Solves A x = b with the distributed factor layout described by `map`.
 /// `factor` is the gathered factor from distributed_factor (each rank reads
-/// only the blocks it owns under `map`); `b` is n x nrhs, replicated.
+/// only the blocks it owns under `map`); `b` is n x nrhs, replicated. With
+/// an active `faults` plan, point-to-point messages ride the mpsim retry
+/// protocol: the solution is bitwise-identical to the fault-free run, or
+/// the run throws a diagnosed StatusError — never a hang.
 [[nodiscard]] DistSolveResult distributed_solve(
     const SymbolicFactor& sym, const FrontMap& map,
     const CholeskyFactor& factor, const std::vector<real_t>& b, index_t nrhs,
-    const mpsim::MachineModel& model = {});
+    const mpsim::MachineModel& model = {},
+    const mpsim::FaultPlan& faults = {});
+
+/// Non-throwing variant: failures land in `result.status`.
+[[nodiscard]] DistSolveResult distributed_solve_checked(
+    const SymbolicFactor& sym, const FrontMap& map,
+    const CholeskyFactor& factor, const std::vector<real_t>& b, index_t nrhs,
+    const mpsim::MachineModel& model = {},
+    const mpsim::FaultPlan& faults = {});
 
 }  // namespace parfact

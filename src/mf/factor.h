@@ -57,6 +57,9 @@ struct FactorStats {
   /// Peak bytes of live update (contribution) blocks — the multifrontal
   /// stack. Factor storage itself is not included.
   std::size_t peak_update_bytes = 0;
+  /// Pivots boosted by static pivoting (0 unless a PivotPolicy with
+  /// boosting was supplied and the matrix needed it).
+  count_t pivot_perturbations = 0;
 };
 
 }  // namespace parfact

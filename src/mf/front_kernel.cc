@@ -1,18 +1,21 @@
 #include "mf/front_kernel.h"
 
+#include <sstream>
 #include <vector>
 
 #include "dense/kernels.h"
 #include "support/error.h"
+#include "support/status.h"
 
 namespace parfact::detail {
 
-void eliminate_front(const SymbolicFactor& sym, index_t s,
-                     const std::vector<std::vector<real_t>>& update_of,
-                     const std::vector<std::vector<index_t>>& children,
-                     MatrixView panel, std::vector<real_t>& update_out,
-                     FrontScratch& scratch, FactorKind kind,
-                     std::span<real_t> d, ThreadPool* pool) {
+count_t eliminate_front(const SymbolicFactor& sym, index_t s,
+                        const std::vector<std::vector<real_t>>& update_of,
+                        const std::vector<std::vector<index_t>>& children,
+                        MatrixView panel, std::vector<real_t>& update_out,
+                        FrontScratch& scratch, FactorKind kind,
+                        std::span<real_t> d, ThreadPool* pool,
+                        const PivotPolicy& pivot) {
   const index_t p = sym.sn_cols(s);
   const index_t b = sym.sn_below(s);
   const index_t first = sym.sn_start[s];
@@ -26,6 +29,20 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
   auto& local_of = scratch.local_of;
   for (index_t k = 0; k < p; ++k) local_of[first + k] = k;
   for (index_t t = 0; t < b; ++t) local_of[rows[t]] = p + t;
+
+  // Reset the scratch map on *every* exit path — including exceptions
+  // thrown out of the pool-parallel level-3 kernels — so pooled scratch
+  // objects stay reusable after a failed front (the serial path used to
+  // clean up by hand only on the breakdown branch).
+  struct ScratchGuard {
+    std::vector<index_t>& map;
+    index_t p, b, first;
+    std::span<const index_t> rows;
+    ~ScratchGuard() {
+      for (index_t k = 0; k < p; ++k) map[first + k] = kNone;
+      for (index_t t = 0; t < b; ++t) map[rows[t]] = kNone;
+    }
+  } guard{local_of, p, b, first, rows};
 
   // Scatter the original matrix columns of this supernode.
   const SparseMatrix& a = sym.a;
@@ -65,22 +82,25 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
 
   // Partial dense factorization of the front.
   MatrixView l11 = panel.block(0, 0, p, p);
+  PivotBoost boost{pivot.threshold, pivot.value, 0};
+  PivotBoost* boost_ptr = pivot.boost ? &boost : nullptr;
   index_t info;
   if (kind == FactorKind::kCholesky) {
-    info = potrf_lower(l11);
+    info = potrf_lower(l11, boost_ptr);
   } else {
-    info = ldlt_lower(l11, d.subspan(static_cast<std::size_t>(first),
-                                     static_cast<std::size_t>(p)));
+    info = ldlt_lower(l11,
+                      d.subspan(static_cast<std::size_t>(first),
+                                static_cast<std::size_t>(p)),
+                      boost_ptr);
   }
   if (info != kNone) {
-    // Clean scratch before throwing so the pool stays reusable.
-    for (index_t k = 0; k < p; ++k) local_of[first + k] = kNone;
-    for (index_t t = 0; t < b; ++t) local_of[rows[t]] = kNone;
-    PARFACT_CHECK_MSG(false, (kind == FactorKind::kCholesky
-                                  ? "matrix is not positive definite"
-                                  : "zero LDLT pivot")
-                                 << " at column " << first + info
-                                 << " (postordered)");
+    std::ostringstream os;
+    os << (kind == FactorKind::kCholesky ? "matrix is not positive definite"
+                                         : "bad LDLT pivot")
+       << " at column " << first + info << " (postordered), supernode " << s
+       << " (front order " << sym.front_order(s) << ", " << p << " columns)";
+    throw StatusError(
+        Status::failure(StatusCode::kBreakdown, os.str(), s));
   }
   if (b > 0) {
     MatrixView l21 = panel.block(p, 0, b, p);
@@ -105,8 +125,7 @@ void eliminate_front(const SymbolicFactor& sym, index_t s,
     }
   }
 
-  for (index_t k = 0; k < p; ++k) local_of[first + k] = kNone;
-  for (index_t t = 0; t < b; ++t) local_of[rows[t]] = kNone;
+  return boost.count;
 }
 
 std::vector<std::vector<index_t>> build_children(const SymbolicFactor& sym) {

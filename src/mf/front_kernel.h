@@ -19,13 +19,18 @@ struct FrontScratch {
       : local_of(static_cast<std::size_t>(n), kNone) {}
 };
 
-/// Assembles and partially factorizes the front of supernode s.
+/// Assembles and partially factorizes the front of supernode s; returns the
+/// number of pivots boosted by `pivot` (always 0 with boosting off).
 ///
 /// `panel` (front_order x sn_cols, zeroed) receives the factor panel; the
 /// trailing Schur complement is written into `update_out`. Children's update
 /// blocks are consumed (extend-add) but not freed here. In LDLᵀ mode `d`
 /// receives diag(D) for this supernode's columns and the panel holds the
-/// unit-diagonal L. Throws parfact::Error on a bad pivot.
+/// unit-diagonal L. On an unrecoverable pivot (non-finite, or breakdown
+/// with boosting off) throws StatusError carrying StatusCode::kBreakdown
+/// with the supernode id and front size; the scratch map is restored on
+/// every exit path, so pooled scratch objects stay reusable even when a
+/// parallel-engine task throws.
 ///
 /// When `pool` is non-null the TRSM and trailing SYRK/GEMM split their row
 /// range across the pool's workers (intra-front parallelism for the large
@@ -33,12 +38,13 @@ struct FrontScratch {
 /// kernels are bitwise identical to the serial ones, so the factor does not
 /// depend on the pool. The caller must not invoke this from inside a task
 /// running on the same pool (the row-split barrier would deadlock).
-void eliminate_front(const SymbolicFactor& sym, index_t s,
-                     const std::vector<std::vector<real_t>>& update_of,
-                     const std::vector<std::vector<index_t>>& children,
-                     MatrixView panel, std::vector<real_t>& update_out,
-                     FrontScratch& scratch, FactorKind kind,
-                     std::span<real_t> d, ThreadPool* pool = nullptr);
+count_t eliminate_front(const SymbolicFactor& sym, index_t s,
+                        const std::vector<std::vector<real_t>>& update_of,
+                        const std::vector<std::vector<index_t>>& children,
+                        MatrixView panel, std::vector<real_t>& update_out,
+                        FrontScratch& scratch, FactorKind kind,
+                        std::span<real_t> d, ThreadPool* pool = nullptr,
+                        const PivotPolicy& pivot = {});
 
 /// Child lists of the assembly tree.
 [[nodiscard]] std::vector<std::vector<index_t>> build_children(

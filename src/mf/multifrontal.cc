@@ -5,17 +5,32 @@
 #include <mutex>
 #include <vector>
 
+#include <cmath>
+#include <limits>
+
 #include "dense/kernels.h"
 #include "mf/front_kernel.h"
 #include "mf/update_memory.h"
+#include "sparse/ops.h"
 #include "support/error.h"
 #include "support/timer.h"
 
 namespace parfact {
 
+PivotPolicy resolve_pivot_policy(PivotPolicy policy, const SparseMatrix& a) {
+  if (!policy.boost) return policy;
+  const real_t scale =
+      std::sqrt(std::numeric_limits<real_t>::epsilon()) * max_abs(a);
+  if (policy.threshold == 0.0) policy.threshold = scale;
+  if (policy.value == 0.0) policy.value = policy.threshold;
+  return policy;
+}
+
 CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
-                                   FactorStats* stats, FactorKind kind) {
+                                   FactorStats* stats, FactorKind kind,
+                                   PivotPolicy pivot) {
   WallTimer timer;
+  pivot = resolve_pivot_policy(pivot, sym.a);
   CholeskyFactor factor(sym);
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
@@ -24,10 +39,12 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
       static_cast<std::size_t>(sym.n_supernodes));
   detail::FrontScratch scratch(sym.n);
   detail::UpdateMemory mem;
+  count_t perturbations = 0;
 
   for (index_t s = 0; s < sym.n_supernodes; ++s) {
-    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
-                            update_of[s], scratch, kind, d);
+    perturbations += detail::eliminate_front(
+        sym, s, update_of, children, factor.panel(s), update_of[s], scratch,
+        kind, d, nullptr, pivot);
     mem.add(update_of[s].size() * sizeof(real_t));
     for (index_t c : children[s]) {
       mem.sub(update_of[c].size() * sizeof(real_t));
@@ -39,6 +56,7 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
     stats->seconds = timer.seconds();
     stats->flops = sym.total_flops;
     stats->peak_update_bytes = mem.peak();
+    stats->pivot_perturbations = perturbations;
   }
   return factor;
 }
@@ -47,8 +65,11 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
                                             ThreadPool& pool,
                                             FactorStats* stats,
                                             FactorKind kind,
-                                            count_t coop_flops) {
+                                            count_t coop_flops,
+                                            PivotPolicy pivot) {
   WallTimer timer;
+  pivot = resolve_pivot_policy(pivot, sym.a);
+  std::atomic<count_t> perturbations{0};
   CholeskyFactor factor(sym);
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
@@ -110,8 +131,12 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
   }
   std::function<void(index_t)> run_supernode = [&](index_t s) {
     auto scratch = acquire_scratch();
-    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
-                            update_of[s], *scratch, kind, d);
+    const count_t boosted = detail::eliminate_front(
+        sym, s, update_of, children, factor.panel(s), update_of[s], *scratch,
+        kind, d, nullptr, pivot);
+    if (boosted > 0) {
+      perturbations.fetch_add(boosted, std::memory_order_relaxed);
+    }
     release_scratch(std::move(scratch));
     finish_supernode(s);
     const index_t parent = sym.sn_parent[s];
@@ -133,8 +158,10 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
   detail::FrontScratch scratch(sym.n);
   for (index_t s = 0; s < ns; ++s) {
     if (tasked[s]) continue;
-    detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
-                            update_of[s], scratch, kind, d, &pool);
+    perturbations.fetch_add(
+        detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
+                                update_of[s], scratch, kind, d, &pool, pivot),
+        std::memory_order_relaxed);
     finish_supernode(s);
   }
 
@@ -142,8 +169,32 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
     stats->seconds = timer.seconds();
     stats->flops = sym.total_flops;
     stats->peak_update_bytes = mem.peak();
+    stats->pivot_perturbations =
+        perturbations.load(std::memory_order_relaxed);
   }
   return factor;
+}
+
+FactorizeResult multifrontal_factorize(const SymbolicFactor& sym,
+                                       FactorKind kind, PivotPolicy pivot,
+                                       ThreadPool* pool) {
+  FactorizeResult result;
+  try {
+    result.factor.emplace(pool != nullptr && pool->size() > 1
+                              ? multifrontal_factor_parallel(
+                                    sym, *pool, &result.stats, kind,
+                                    kCoopFrontFlops, pivot)
+                              : multifrontal_factor(sym, &result.stats, kind,
+                                                    pivot));
+    result.status = Status::success(result.stats.pivot_perturbations);
+  } catch (const StatusError& e) {
+    result.factor.reset();
+    result.status = e.status();
+  } catch (const Error& e) {
+    result.factor.reset();
+    result.status = Status::failure(StatusCode::kInternal, e.what());
+  }
+  return result;
 }
 
 }  // namespace parfact

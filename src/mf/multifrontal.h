@@ -8,7 +8,10 @@
 // independent, which is what every parallel variant exploits.
 #pragma once
 
+#include <optional>
+
 #include "mf/factor.h"
+#include "support/status.h"
 #include "support/thread_pool.h"
 #include "symbolic/symbolic_factor.h"
 
@@ -21,12 +24,32 @@ enum class FactorKind {
               ///< (strongly factorizable) matrices — e.g. KKT saddle points
 };
 
+/// Static-pivoting policy threaded through every factorization engine.
+/// Disabled (the historical throw-on-breakdown behavior) by default; when
+/// `boost` is set, pivots with |pivot| <= threshold are replaced by
+/// ±`value` and counted instead of aborting. Zero threshold/value mean
+/// "auto": resolve_pivot_policy fills in sqrt(eps) * max|A|, the
+/// SuperLU_DIST static-pivoting magnitude, whose accuracy loss iterative
+/// refinement recovers (see DESIGN.md "Robustness & failure model").
+struct PivotPolicy {
+  bool boost = false;
+  real_t threshold = 0.0;  ///< 0 = auto (sqrt(eps) * max|A|)
+  real_t value = 0.0;      ///< 0 = auto (same as threshold)
+};
+
+/// Resolves "auto" fields of `policy` against the matrix that will be
+/// factorized. Idempotent; returns `policy` unchanged when boost is off.
+[[nodiscard]] PivotPolicy resolve_pivot_policy(PivotPolicy policy,
+                                               const SparseMatrix& a);
+
 /// Serial multifrontal factorization of sym.a (the postordered matrix held
-/// by the symbolic phase). Throws parfact::Error if a front hits a
-/// non-positive (Cholesky) or zero (LDLᵀ) pivot.
+/// by the symbolic phase). Without pivot boosting, throws parfact::Error
+/// (specifically StatusError with StatusCode::kBreakdown) if a front hits a
+/// non-positive (Cholesky) or zero (LDLᵀ) pivot; with boosting, tiny pivots
+/// are perturbed and counted in stats->pivot_perturbations.
 [[nodiscard]] CholeskyFactor multifrontal_factor(
     const SymbolicFactor& sym, FactorStats* stats = nullptr,
-    FactorKind kind = FactorKind::kCholesky);
+    FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {});
 
 /// A front whose factorization flops reach this threshold is executed
 /// cooperatively (all workers split its TRSM/SYRK/GEMM row ranges) instead
@@ -47,6 +70,23 @@ inline constexpr count_t kCoopFrontFlops = 20'000'000;
 [[nodiscard]] CholeskyFactor multifrontal_factor_parallel(
     const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
     FactorKind kind = FactorKind::kCholesky,
-    count_t coop_flops = kCoopFrontFlops);
+    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {});
+
+/// Outcome of a checked factorization: on success (including a perturbed
+/// success) `factor` is engaged and `status` reports the perturbation
+/// count; on failure `factor` is empty and `status` diagnoses why.
+struct FactorizeResult {
+  std::optional<CholeskyFactor> factor;
+  FactorStats stats;
+  Status status;
+};
+
+/// Status-returning driver around multifrontal_factor /
+/// multifrontal_factor_parallel (chosen by `pool`). Static pivoting is ON
+/// by default here — this is the graceful-degradation entry point; callers
+/// wanting the strict throw-on-breakdown contract use the functions above.
+[[nodiscard]] FactorizeResult multifrontal_factorize(
+    const SymbolicFactor& sym, FactorKind kind = FactorKind::kCholesky,
+    PivotPolicy pivot = {.boost = true}, ThreadPool* pool = nullptr);
 
 }  // namespace parfact

@@ -2,21 +2,44 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <sstream>
 #include <utility>
 
 #include "dense/kernels.h"
 #include "mf/front_kernel.h"
 #include "support/error.h"
+#include "support/status.h"
 #include "support/timer.h"
 
 namespace parfact {
+namespace {
+
+/// FNV-1a over the panel bytes — cheap relative to the fwrite it guards and
+/// order-sensitive, so any flipped/duplicated/dropped byte changes it.
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 OocCholeskyFactor::OocCholeskyFactor(const SymbolicFactor& sym,
                                      std::string path)
     : sym_(&sym), path_(std::move(path)) {
   file_ = std::fopen(path_.c_str(), "wb+");
   PARFACT_CHECK_MSG(file_ != nullptr, "cannot create scratch file " << path_);
+  // Unbuffered: panels are written/read whole, so stdio buffering buys
+  // nothing — and the read-back checksum must verify the bytes actually on
+  // disk, not a stale stdio cache that would mask external corruption.
+  std::setvbuf(file_, nullptr, _IONBF, 0);
   offset_.resize(static_cast<std::size_t>(sym.n_supernodes) + 1);
+  checksum_.assign(static_cast<std::size_t>(sym.n_supernodes), 0);
   offset_[0] = 0;
   for (index_t s = 0; s < sym.n_supernodes; ++s) {
     const count_t panel_bytes = static_cast<count_t>(sym.front_order(s)) *
@@ -37,7 +60,8 @@ OocCholeskyFactor::OocCholeskyFactor(OocCholeskyFactor&& other) noexcept
     : sym_(other.sym_),
       path_(std::move(other.path_)),
       file_(std::exchange(other.file_, nullptr)),
-      offset_(std::move(other.offset_)) {}
+      offset_(std::move(other.offset_)),
+      checksum_(std::move(other.checksum_)) {}
 
 count_t OocCholeskyFactor::bytes_on_disk() const { return offset_.back(); }
 
@@ -51,23 +75,39 @@ void OocCholeskyFactor::write_panel(index_t s, ConstMatrixView panel) {
   PARFACT_CHECK_MSG(
       std::fwrite(panel.data, sizeof(real_t), count, file_) == count,
       "short write to " << path_);
+  // Flush so the panel is visible to external readers (and corruptible by
+  // external writers — which is exactly how the integrity tests exercise
+  // the read-back verification below).
+  PARFACT_CHECK(std::fflush(file_) == 0);
+  checksum_[s] = fnv1a(panel.data, count * sizeof(real_t));
 }
 
 void OocCholeskyFactor::read_panel(index_t s, MatrixView out) const {
   PARFACT_CHECK(out.rows == sym_->front_order(s) &&
                 out.cols == sym_->sn_cols(s) && out.ld == out.rows);
-  PARFACT_CHECK(std::fseek(file_, static_cast<long>(offset_[s]), SEEK_SET) ==
-                0);
   const std::size_t count = static_cast<std::size_t>(out.rows) * out.cols;
-  PARFACT_CHECK_MSG(
-      std::fread(out.data, sizeof(real_t), count, file_) == count,
-      "short read from " << path_);
+  // One silent retry covers a transient short/failed read; a checksum that
+  // is still wrong after re-reading means the bytes on disk are damaged.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    PARFACT_CHECK(
+        std::fseek(file_, static_cast<long>(offset_[s]), SEEK_SET) == 0);
+    if (std::fread(out.data, sizeof(real_t), count, file_) != count) continue;
+    if (fnv1a(out.data, count * sizeof(real_t)) == checksum_[s]) return;
+  }
+  std::ostringstream os;
+  os << "checksum mismatch reading panel of supernode " << s << " from "
+     << path_ << " (after one re-read retry)";
+  throw StatusError(
+      Status::failure(StatusCode::kDataCorruption, os.str(), s));
 }
 
 OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
                                           const std::string& path,
-                                          FactorStats* stats) {
+                                          FactorStats* stats,
+                                          PivotPolicy pivot) {
   WallTimer timer;
+  pivot = resolve_pivot_policy(pivot, sym.a);
+  count_t perturbations = 0;
   OocCholeskyFactor factor(sym, path);
   const auto children = detail::build_children(sym);
   std::vector<std::vector<real_t>> update_of(
@@ -82,8 +122,10 @@ OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
     const index_t p = sym.sn_cols(s);
     panel_buf.assign(static_cast<std::size_t>(f) * p, 0.0);
     MatrixView panel{panel_buf.data(), f, p, f};
-    detail::eliminate_front(sym, s, update_of, children, panel, update_of[s],
-                            scratch, FactorKind::kCholesky, {});
+    perturbations += detail::eliminate_front(sym, s, update_of, children,
+                                             panel, update_of[s], scratch,
+                                             FactorKind::kCholesky, {},
+                                             nullptr, pivot);
     factor.write_panel(s, panel);
     live += update_of[s].size() * sizeof(real_t);
     peak = std::max(peak, live + panel_buf.size() * sizeof(real_t));
@@ -97,6 +139,7 @@ OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
     stats->seconds = timer.seconds();
     stats->flops = sym.total_flops;
     stats->peak_update_bytes = peak;
+    stats->pivot_perturbations = perturbations;
   }
   return factor;
 }

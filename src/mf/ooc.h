@@ -6,12 +6,14 @@
 // back-to-front).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "dense/matrix_view.h"
 #include "mf/factor.h"
+#include "mf/multifrontal.h"
 #include "symbolic/symbolic_factor.h"
 
 namespace parfact {
@@ -20,6 +22,12 @@ namespace parfact {
 /// CholeskyFactor's in-memory layout (column-major trapezoid per supernode,
 /// concatenated in supernode order). The scratch file is deleted on
 /// destruction.
+///
+/// Integrity: every panel write records a 64-bit FNV-1a checksum in memory;
+/// every read-back verifies it, retrying the read once (transient I/O) and
+/// then throwing StatusError(kDataCorruption). The checksums live in memory
+/// rather than on disk because they guard the scratch file's round-trip
+/// within one process lifetime — the file does not outlive the object.
 class OocCholeskyFactor {
  public:
   /// Creates/truncates the scratch file. `sym` must outlive this object.
@@ -32,10 +40,14 @@ class OocCholeskyFactor {
 
   [[nodiscard]] const SymbolicFactor& symbolic() const { return *sym_; }
   [[nodiscard]] count_t bytes_on_disk() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
 
-  /// Writes supernode s's panel (front_order x sn_cols) to its file slot.
+  /// Writes supernode s's panel (front_order x sn_cols) to its file slot,
+  /// recording its checksum. Flushes so the bytes are externally visible.
   void write_panel(index_t s, ConstMatrixView panel);
-  /// Reads supernode s's panel into `out` (same shape, ld == rows).
+  /// Reads supernode s's panel into `out` (same shape, ld == rows) and
+  /// verifies its checksum; one silent re-read on mismatch, then throws
+  /// StatusError with StatusCode::kDataCorruption.
   void read_panel(index_t s, MatrixView out) const;
 
  private:
@@ -43,6 +55,7 @@ class OocCholeskyFactor {
   std::string path_;
   std::FILE* file_ = nullptr;
   std::vector<count_t> offset_;  ///< per-supernode byte offset
+  std::vector<std::uint64_t> checksum_;  ///< per-supernode FNV-1a of panel
 };
 
 /// Out-of-core serial multifrontal Cholesky. `stats->peak_update_bytes`
@@ -50,7 +63,7 @@ class OocCholeskyFactor {
 /// while the factor itself goes to disk.
 [[nodiscard]] OocCholeskyFactor multifrontal_factor_ooc(
     const SymbolicFactor& sym, const std::string& path,
-    FactorStats* stats = nullptr);
+    FactorStats* stats = nullptr, PivotPolicy pivot = {});
 
 /// x := A⁻¹ x with panels streamed from disk (x is n x nrhs).
 void ooc_solve_in_place(const OocCholeskyFactor& factor, MatrixView x);

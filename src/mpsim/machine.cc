@@ -1,16 +1,20 @@
 #include "mpsim/machine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "support/error.h"
+#include "support/status.h"
 
 namespace parfact::mpsim {
 
@@ -22,14 +26,47 @@ int ceil_log2(int n) {
   return l;
 }
 
+/// splitmix64 finalizer — the scrambler behind the fault dice.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform [0, 1) draw for one fault decision. Purely a
+/// function of its arguments: host scheduling cannot perturb the dice.
+double fault_roll(std::uint64_t seed, int src, int dest, int tag,
+                  std::uint64_t seq, int draw) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                 << 32 |
+                 static_cast<std::uint32_t>(dest)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  h = mix64(h ^ seq);
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(draw)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Prefix carried by every point-to-point message when faults are active.
+struct WireHeader {
+  std::uint64_t seq;
+};
+
 }  // namespace
 
 class Machine {
  public:
-  Machine(int n, const MachineModel& model)
-      : model_(model), n_(n), boxes_(static_cast<std::size_t>(n)) {}
+  Machine(int n, const MachineModel& model, const FaultPlan& plan)
+      : model_(model),
+        plan_(plan),
+        faults_(plan.active()),
+        n_(n),
+        boxes_(static_cast<std::size_t>(n)) {}
 
   const MachineModel model_;
+  const FaultPlan plan_;
+  const bool faults_;
   const int n_;
 
   struct Message {
@@ -60,6 +97,8 @@ class Machine {
 
   std::atomic<count_t> total_messages_{0};
   std::atomic<count_t> total_bytes_{0};
+  std::atomic<count_t> total_retransmits_{0};
+  std::atomic<count_t> total_dropped_{0};
   std::atomic<bool> aborted_{false};
 
   void abort_all() {
@@ -90,44 +129,167 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   machine_->check_abort();
   // A self-send is a local memcpy: no latency, no link traffic.
   const bool local = dest == rank_;
-  const double arrival =
-      local ? clock_
-            : clock_ + machine_->model_.alpha +
-                  static_cast<double>(bytes) * machine_->model_.beta;
-  if (!local) clock_ += machine_->model_.alpha;  // sender-side overhead
-  Machine::Message msg;
-  msg.arrival = arrival;
-  msg.data.resize(bytes);
-  if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
-  auto& box = machine_->boxes_[dest];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queues[{rank_, tag}].push_back(std::move(msg));
+  if (!machine_->faults_) {
+    const double arrival =
+        local ? clock_
+              : clock_ + machine_->model_.alpha +
+                    static_cast<double>(bytes) * machine_->model_.beta;
+    if (!local) clock_ += machine_->model_.alpha;  // sender-side overhead
+    Machine::Message msg;
+    msg.arrival = arrival;
+    msg.data.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
+    auto& box = machine_->boxes_[dest];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queues[{rank_, tag}].push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+    if (!local) {
+      machine_->total_messages_.fetch_add(1);
+      machine_->total_bytes_.fetch_add(static_cast<count_t>(bytes));
+    }
+    return;
   }
-  box.cv.notify_all();
-  if (!local) {
-    machine_->total_messages_.fetch_add(1);
-    machine_->total_bytes_.fetch_add(static_cast<count_t>(bytes));
+
+  // Fault-injection path. All fault decisions for this message are resolved
+  // here, synchronously: the in-process machine lets the sender know each
+  // copy's fate, so "retransmit until a copy gets through" needs no ack
+  // round-trip that could deadlock two ranks sending to each other. The
+  // receiver's sequence check discards everything but the first accepted
+  // copy, so faults change virtual time only, never payload or order.
+  const FaultPlan& plan = machine_->plan_;
+  const std::uint64_t seq = send_seq_[{dest, tag}]++;
+  std::vector<std::byte> wire(sizeof(WireHeader) + bytes);
+  const WireHeader header{seq};
+  std::memcpy(wire.data(), &header, sizeof header);
+  if (bytes > 0) std::memcpy(wire.data() + sizeof header, data, bytes);
+  auto deliver = [&](double arrival) {
+    Machine::Message msg;
+    msg.arrival = arrival;
+    msg.data = wire;  // copy — duplicates may deliver the same bytes again
+    auto& box = machine_->boxes_[dest];
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queues[{rank_, tag}].push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+    if (!local) {
+      machine_->total_messages_.fetch_add(1);
+      machine_->total_bytes_.fetch_add(static_cast<count_t>(wire.size()));
+    }
+  };
+  if (local) {
+    // The loopback "link" never faults: a rank cannot lose a memcpy.
+    deliver(clock_);
+    return;
+  }
+  bool delivered = false;
+  for (int attempt = 0; attempt <= plan.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Bounded exponential backoff, charged to virtual time.
+      tick(plan.retry_backoff_seconds *
+           static_cast<double>(1ull << std::min(attempt - 1, 20)));
+      machine_->total_retransmits_.fetch_add(1);
+    }
+    double arrival = clock_ + machine_->model_.alpha +
+                     static_cast<double>(wire.size()) * machine_->model_.beta;
+    tick(machine_->model_.alpha);  // each copy pays the sender-side overhead
+    auto roll = [&](int draw) {
+      return fault_roll(plan.seed, rank_, dest, tag, seq, attempt * 4 + draw);
+    };
+    if (roll(0) < plan.drop_rate) {
+      machine_->total_dropped_.fetch_add(1);
+      continue;  // copy lost on the link — back off and retransmit
+    }
+    if (roll(1) < plan.delay_rate) arrival += plan.delay_seconds;
+    deliver(arrival);
+    delivered = true;
+    if (roll(2) < plan.duplicate_rate) {
+      deliver(arrival + machine_->model_.alpha);  // link-duplicated copy
+    }
+    if (roll(3) < plan.ack_drop_rate) continue;  // ack lost: spurious resend
+    break;
+  }
+  if (!delivered) {
+    std::ostringstream os;
+    os << "mpsim: message " << rank_ << " -> " << dest << " (tag " << tag
+       << ", seq " << seq << ") lost " << plan.max_retries + 1
+       << " consecutive copies; giving up";
+    throw StatusError(Status::failure(StatusCode::kCommFailure, os.str()));
   }
 }
 
 std::vector<std::byte> Comm::recv(int source, int tag) {
   PARFACT_CHECK(source >= 0 && source < machine_->n_);
   auto& box = machine_->boxes_[rank_];
-  std::unique_lock<std::mutex> lock(box.mu);
   const auto key = std::make_pair(source, tag);
-  box.cv.wait(lock, [&] {
-    if (machine_->aborted_.load()) return true;
-    const auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  machine_->check_abort();
-  auto& q = box.queues[key];
-  Machine::Message msg = std::move(q.front());
-  q.pop_front();
-  lock.unlock();
-  clock_ = std::max(clock_, msg.arrival);
-  return std::move(msg.data);
+  if (!machine_->faults_) {
+    std::unique_lock<std::mutex> lock(box.mu);
+    box.cv.wait(lock, [&] {
+      if (machine_->aborted_.load()) return true;
+      const auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    machine_->check_abort();
+    auto& q = box.queues[key];
+    Machine::Message msg = std::move(q.front());
+    q.pop_front();
+    lock.unlock();
+    clock_ = std::max(clock_, msg.arrival);
+    return std::move(msg.data);
+  }
+
+  // Fault path: strip the wire header, accept exactly the next expected
+  // sequence number, silently discard stale duplicates, and bound the host
+  // wait so an injected fault can never turn into a hang.
+  const FaultPlan& plan = machine_->plan_;
+  std::uint64_t& expected = recv_seq_[key];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(plan.recv_timeout_host_seconds));
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    const bool ready = box.cv.wait_until(lock, deadline, [&] {
+      if (machine_->aborted_.load()) return true;
+      const auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    if (!ready) {
+      lock.unlock();
+      std::ostringstream os;
+      os << "mpsim: rank " << rank_ << " timed out after "
+         << plan.recv_timeout_host_seconds
+         << "s of host time waiting for (source " << source << ", tag "
+         << tag << "), expected seq " << expected;
+      throw StatusError(Status::failure(StatusCode::kCommTimeout, os.str()));
+    }
+    machine_->check_abort();
+    auto& q = box.queues[key];
+    Machine::Message msg = std::move(q.front());
+    q.pop_front();
+    PARFACT_CHECK(msg.data.size() >= sizeof(WireHeader));
+    WireHeader header;
+    std::memcpy(&header, msg.data.data(), sizeof header);
+    if (header.seq != expected) {
+      // Sends resolve all copies of seq k before starting seq k+1 and the
+      // per-link queue is FIFO, so a mismatch can only be a stale duplicate.
+      PARFACT_CHECK_MSG(header.seq < expected,
+                        "mpsim: out-of-order sequence number");
+      continue;  // duplicate of an already-accepted copy
+    }
+    ++expected;
+    lock.unlock();
+    clock_ = std::max(clock_, msg.arrival);
+    apply_stalls();
+    std::vector<std::byte> payload(msg.data.size() - sizeof header);
+    if (!payload.empty()) {
+      std::memcpy(payload.data(), msg.data.data() + sizeof header,
+                  payload.size());
+    }
+    return payload;
+  }
 }
 
 namespace {
@@ -244,18 +406,30 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
 void Comm::advance_compute(count_t flops) {
   PARFACT_DCHECK(flops >= 0);
   const double s = static_cast<double>(flops) / machine_->model_.flop_rate;
-  clock_ += s;
+  tick(s);
   compute_time_ += s;
 }
 
 void Comm::advance_bytes(count_t bytes) {
   PARFACT_DCHECK(bytes >= 0);
-  clock_ += static_cast<double>(bytes) / machine_->model_.mem_rate;
+  tick(static_cast<double>(bytes) / machine_->model_.mem_rate);
 }
 
 void Comm::advance_seconds(double s) {
   PARFACT_DCHECK(s >= 0.0);
-  clock_ += s;
+  tick(s);
+}
+
+void Comm::apply_stalls() {
+  if (stall_fired_.empty()) return;
+  const auto& stalls = machine_->plan_.stalls;
+  for (std::size_t i = 0; i < stalls.size(); ++i) {
+    if (stall_fired_[i] != 0 || stalls[i].rank != rank_) continue;
+    if (clock_ >= stalls[i].at) {
+      stall_fired_[i] = 1;
+      clock_ += stalls[i].duration;
+    }
+  }
 }
 
 void Comm::memory_add(count_t bytes) {
@@ -270,11 +444,21 @@ void Comm::memory_sub(count_t bytes) {
 
 RunStats run_spmd(int n_ranks, const MachineModel& model,
                   const std::function<void(Comm&)>& rank_fn) {
+  return run_spmd(n_ranks, model, FaultPlan{}, rank_fn);
+}
+
+RunStats run_spmd(int n_ranks, const MachineModel& model,
+                  const FaultPlan& faults,
+                  const std::function<void(Comm&)>& rank_fn) {
   PARFACT_CHECK(n_ranks >= 1);
-  Machine machine(n_ranks, model);
+  PARFACT_CHECK(faults.max_retries >= 0);
+  Machine machine(n_ranks, model, faults);
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(n_ranks));
-  for (int r = 0; r < n_ranks; ++r) comms.push_back(Comm(&machine, r));
+  for (int r = 0; r < n_ranks; ++r) {
+    comms.push_back(Comm(&machine, r));
+    comms.back().stall_fired_.assign(faults.stalls.size(), 0);
+  }
 
   std::mutex err_mu;
   std::exception_ptr first_error;
@@ -308,6 +492,8 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   }
   stats.total_messages = machine.total_messages_.load();
   stats.total_bytes = machine.total_bytes_.load();
+  stats.total_retransmits = machine.total_retransmits_.load();
+  stats.total_dropped = machine.total_dropped_.load();
   return stats;
 }
 

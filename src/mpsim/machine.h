@@ -47,6 +47,49 @@ struct RunStats {
   count_t total_messages = 0;
   count_t total_bytes = 0;
   std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
+  count_t total_retransmits = 0;  ///< fault-injected extra transmissions
+  count_t total_dropped = 0;      ///< fault-injected message losses
+};
+
+/// Deterministic fault-injection plan for one SPMD run. All randomness is a
+/// pure hash of (seed, src, dest, tag, seq, attempt), so two runs with the
+/// same plan inject byte-identical faults regardless of host scheduling —
+/// which is what lets tests assert "faulty run == fault-free run, bitwise".
+///
+/// When the plan is active every point-to-point message carries a per-link
+/// (source, tag) sequence number. The sender resolves faults at send time
+/// (the in-process machine lets it know each transmission's fate): a
+/// dropped copy is retransmitted after an exponential virtual-time backoff,
+/// a lost ack causes a spurious retransmission, and the receiver discards
+/// any copy whose sequence number it has already accepted. Payload content
+/// and per-link delivery order are therefore exactly those of the
+/// fault-free run — faults cost only virtual time — or, if `max_retries`
+/// consecutive copies of one message are dropped, the send throws
+/// StatusError(kCommFailure). Collectives are full-rendezvous in-memory
+/// exchanges and are not subject to faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;          ///< dice seed; same seed → same faults
+  double drop_rate = 0.0;          ///< P(message copy is lost on the link)
+  double duplicate_rate = 0.0;     ///< P(link delivers an extra copy)
+  double delay_rate = 0.0;         ///< P(copy arrives `delay_seconds` late)
+  double delay_seconds = 1.0e-3;   ///< extra virtual latency when delayed
+  double ack_drop_rate = 0.0;      ///< P(delivered but sender retransmits)
+  int max_retries = 8;             ///< attempts per message before failing
+  double retry_backoff_seconds = 1.0e-4;  ///< first backoff, doubles after
+  double recv_timeout_host_seconds = 30.0;  ///< hang safety net (host time)
+  /// Rank `rank` freezes for `duration` virtual seconds the first time its
+  /// clock reaches `at` (models a transient OS/GC stall, not a crash).
+  struct Stall {
+    int rank = 0;
+    double at = 0.0;
+    double duration = 0.0;
+  };
+  std::vector<Stall> stalls;
+
+  [[nodiscard]] bool active() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
+           ack_drop_rate > 0.0 || !stalls.empty();
+  }
 };
 
 class Machine;
@@ -56,6 +99,12 @@ class Comm;
 /// thread each) and returns the run statistics. Rank program exceptions are
 /// rethrown (first one wins) after all threads have been joined.
 RunStats run_spmd(int n_ranks, const MachineModel& model,
+                  const std::function<void(Comm&)>& rank_fn);
+
+/// As above with fault injection. An inactive plan behaves exactly like the
+/// overload without one (no wire headers, no timeouts).
+RunStats run_spmd(int n_ranks, const MachineModel& model,
+                  const FaultPlan& faults,
                   const std::function<void(Comm&)>& rank_fn);
 
 /// Per-rank communicator handle passed to the rank program.
@@ -82,7 +131,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::vector<std::byte> raw = recv(source, tag);
     std::vector<T> v(raw.size() / sizeof(T));
-    std::memcpy(v.data(), raw.data(), raw.size());
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
     return v;
   }
 
@@ -106,9 +155,17 @@ class Comm {
 
  private:
   friend class Machine;
-  friend RunStats run_spmd(int, const MachineModel&,
+  friend RunStats run_spmd(int, const MachineModel&, const FaultPlan&,
                            const std::function<void(Comm&)>&);
   Comm(Machine* machine, int rank) : machine_(machine), rank_(rank) {}
+
+  /// Applies any pending stall window this rank's clock has reached.
+  void apply_stalls();
+  /// Advances the clock and triggers stall windows it crosses.
+  void tick(double seconds) {
+    clock_ += seconds;
+    apply_stalls();
+  }
 
   Machine* machine_;
   int rank_;
@@ -116,6 +173,12 @@ class Comm {
   double compute_time_ = 0.0;
   count_t mem_live_ = 0;
   count_t mem_peak_ = 0;
+  /// Fault-protocol state (unused when the plan is inactive): next sequence
+  /// number per (dest, tag) link, next expected per (source, tag) link, and
+  /// which of the plan's stall windows already fired for this rank.
+  std::map<std::pair<int, int>, std::uint64_t> send_seq_;
+  std::map<std::pair<int, int>, std::uint64_t> recv_seq_;
+  std::vector<char> stall_fired_;
 };
 
 }  // namespace parfact::mpsim

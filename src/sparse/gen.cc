@@ -272,6 +272,21 @@ SparseMatrix saddle_point_kkt(index_t n1, index_t n2,
   return b.build();
 }
 
+SparseMatrix append_decoupled_rows(const SparseMatrix& lower, index_t count,
+                                   real_t diag_value) {
+  PARFACT_CHECK(lower.rows == lower.cols);
+  PARFACT_CHECK(count >= 0);
+  const index_t n = lower.rows;
+  TripletBuilder b(n + count, n + count);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = lower.col_ptr[j]; p < lower.col_ptr[j + 1]; ++p) {
+      b.add(lower.row_ind[p], j, lower.values[p]);
+    }
+  }
+  for (index_t k = 0; k < count; ++k) b.add(n + k, n + k, diag_value);
+  return b.build();
+}
+
 std::vector<TestProblem> test_suite(double scale) {
   PARFACT_CHECK(scale > 0.0 && scale <= 1.0);
   const auto s = [scale](index_t full) {

@@ -59,6 +59,19 @@ namespace parfact {
                                             index_t couplings_per_row,
                                             std::uint64_t seed);
 
+/// Appends `count` decoupled rows/columns (diagonal-only, value
+/// `diag_value`) to a lower-stored symmetric matrix. Decoupled rows receive
+/// no updates during factorization, so their pivots equal `diag_value`
+/// exactly in every engine and under every ordering — a tiny positive value
+/// makes the matrix near-singular and a non-positive value makes it
+/// indefinite, with a perturbation count that is deterministically `count`
+/// when static pivoting is enabled. The robustness tests use this to assert
+/// identical recovery behavior across the serial, shared-memory-parallel,
+/// and distributed engines.
+[[nodiscard]] SparseMatrix append_decoupled_rows(const SparseMatrix& lower,
+                                                 index_t count,
+                                                 real_t diag_value);
+
 /// A named test problem of the T1 suite.
 struct TestProblem {
   std::string name;        ///< e.g. "GRID3D-48"

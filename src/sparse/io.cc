@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.h"
@@ -16,11 +20,80 @@ std::string lower(std::string s) {
   return s;
 }
 
+bool is_hspace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+bool blank_line(const std::string& line) {
+  return std::all_of(line.begin(), line.end(), is_hspace);
+}
+
+// The reader never hands raw tokens to the stream extractors: every data
+// line is tokenized with strtoll/strtod through these helpers so malformed
+// tokens, partial tokens ("12abc"), and out-of-range literals all surface
+// as parfact::Error carrying the 1-based line number — never UB or a
+// silently misparsed matrix.
+
+long long parse_int_token(const char*& p, long long lineno,
+                          const char* what) {
+  while (is_hspace(*p)) ++p;
+  PARFACT_CHECK_MSG(*p != '\0',
+                    "Matrix Market line " << lineno << ": missing " << what);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  PARFACT_CHECK_MSG(end != p, "Matrix Market line "
+                                  << lineno << ": expected an integer "
+                                  << what << ", got \"" << p << "\"");
+  PARFACT_CHECK_MSG(errno != ERANGE, "Matrix Market line "
+                                         << lineno << ": " << what
+                                         << " overflows a 64-bit integer");
+  PARFACT_CHECK_MSG(*end == '\0' || is_hspace(*end),
+                    "Matrix Market line " << lineno << ": malformed "
+                                          << what << " token \"" << p
+                                          << "\"");
+  p = end;
+  return v;
+}
+
+double parse_real_token(const char*& p, long long lineno, const char* what) {
+  while (is_hspace(*p)) ++p;
+  PARFACT_CHECK_MSG(*p != '\0',
+                    "Matrix Market line " << lineno << ": missing " << what);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  PARFACT_CHECK_MSG(end != p, "Matrix Market line "
+                                  << lineno << ": expected a numeric "
+                                  << what << ", got \"" << p << "\"");
+  PARFACT_CHECK_MSG(*end == '\0' || is_hspace(*end),
+                    "Matrix Market line " << lineno << ": malformed "
+                                          << what << " token \"" << p
+                                          << "\"");
+  p = end;
+  return v;
+}
+
+void expect_line_end(const char* p, long long lineno) {
+  while (is_hspace(*p)) ++p;
+  PARFACT_CHECK_MSG(*p == '\0', "Matrix Market line "
+                                    << lineno << ": trailing garbage \"" << p
+                                    << "\"");
+}
+
 }  // namespace
 
 MatrixMarketData read_matrix_market(std::istream& in) {
   std::string line;
-  PARFACT_CHECK_MSG(std::getline(in, line), "empty Matrix Market stream");
+  long long lineno = 0;
+  auto next_line = [&](const char* what) {
+    PARFACT_CHECK_MSG(std::getline(in, line),
+                      "Matrix Market: input truncated before " << what
+                          << " (last line read: " << lineno << ")");
+    ++lineno;
+  };
+
+  next_line("the header");
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
@@ -38,25 +111,57 @@ MatrixMarketData read_matrix_market(std::istream& in) {
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
 
-  // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
-  }
-  std::istringstream size_line(line);
-  long long rows = 0, cols = 0, entries = 0;
-  size_line >> rows >> cols >> entries;
-  PARFACT_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
-                    "bad size line: " << line);
+  // Skip comments and blank lines up to the size line.
+  do {
+    next_line("the size line");
+  } while ((!line.empty() && line[0] == '%') || blank_line(line));
+
+  const char* p = line.c_str();
+  const long long rows = parse_int_token(p, lineno, "row count");
+  const long long cols = parse_int_token(p, lineno, "column count");
+  const long long entries = parse_int_token(p, lineno, "entry count");
+  expect_line_end(p, lineno);
+  PARFACT_CHECK_MSG(rows > 0 && cols > 0,
+                    "Matrix Market line " << lineno
+                                          << ": non-positive dimensions "
+                                          << rows << " x " << cols);
+  constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
+  PARFACT_CHECK_MSG(rows <= kMaxDim && cols <= kMaxDim,
+                    "Matrix Market line "
+                        << lineno << ": dimensions " << rows << " x " << cols
+                        << " overflow the 32-bit index type");
+  PARFACT_CHECK_MSG(entries >= 0, "Matrix Market line "
+                                      << lineno << ": negative entry count "
+                                      << entries);
 
   TripletBuilder b(static_cast<index_t>(rows), static_cast<index_t>(cols));
   for (long long k = 0; k < entries; ++k) {
-    long long i = 0, j = 0;
+    // One entry per line (blank lines tolerated); a truncated file fails
+    // here with the entry index instead of reading garbage.
+    do {
+      PARFACT_CHECK_MSG(std::getline(in, line),
+                        "Matrix Market: truncated entry list — expected "
+                            << entries << " entries, got " << k
+                            << " (input ended after line " << lineno << ")");
+      ++lineno;
+    } while (blank_line(line));
+
+    p = line.c_str();
+    const long long i = parse_int_token(p, lineno, "row index");
+    const long long j = parse_int_token(p, lineno, "column index");
     double v = 1.0;
-    in >> i >> j;
-    if (!pattern) in >> v;
-    PARFACT_CHECK_MSG(in, "truncated entry list at entry " << k);
+    if (!pattern) {
+      v = parse_real_token(p, lineno, "value");
+      PARFACT_CHECK_MSG(std::isfinite(v),
+                        "Matrix Market line " << lineno
+                                              << ": non-finite value " << v);
+    }
+    expect_line_end(p, lineno);
     PARFACT_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
-                      "entry out of range: " << i << " " << j);
+                      "Matrix Market line "
+                          << lineno << ": entry (" << i << ", " << j
+                          << ") out of range for a " << rows << " x " << cols
+                          << " matrix");
     index_t ii = static_cast<index_t>(i - 1);
     index_t jj = static_cast<index_t>(j - 1);
     if (symmetric) {

@@ -18,7 +18,10 @@ struct MatrixMarketData {
   bool symmetric = false;
 };
 
-/// Reads a Matrix Market stream. Throws parfact::Error on malformed input.
+/// Reads a Matrix Market stream. Throws parfact::Error on malformed input —
+/// truncated files, non-numeric or partial tokens, out-of-range indices,
+/// non-finite values, and dimensions that overflow the 32-bit index type are
+/// all rejected with the offending 1-based line number in the message.
 [[nodiscard]] MatrixMarketData read_matrix_market(std::istream& in);
 
 /// Reads a Matrix Market file by path.

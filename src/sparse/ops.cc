@@ -148,6 +148,12 @@ real_t norm_frobenius(const SparseMatrix& a) {
   return std::sqrt(s);
 }
 
+real_t max_abs(const SparseMatrix& a) {
+  real_t m = 0.0;
+  for (real_t v : a.values) m = std::max(m, std::abs(v));
+  return m;
+}
+
 bool is_permutation(std::span<const index_t> perm) {
   const auto n = static_cast<index_t>(perm.size());
   std::vector<bool> seen(static_cast<std::size_t>(n), false);

@@ -43,6 +43,10 @@ void spmv_symmetric_lower(const SparseMatrix& lower,
 /// Frobenius norm.
 [[nodiscard]] real_t norm_frobenius(const SparseMatrix& a);
 
+/// Largest absolute stored entry (0 for an empty matrix). Storage-convention
+/// agnostic — used to scale the static-pivoting threshold.
+[[nodiscard]] real_t max_abs(const SparseMatrix& a);
+
 /// Checks that perm is a permutation of [0, n).
 [[nodiscard]] bool is_permutation(std::span<const index_t> perm);
 

@@ -1,0 +1,61 @@
+#include "support/status.h"
+
+#include <sstream>
+#include <utility>
+
+namespace parfact {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kPerturbed:
+      return "perturbed";
+    case StatusCode::kBreakdown:
+      return "breakdown";
+    case StatusCode::kCommFailure:
+      return "comm_failure";
+    case StatusCode::kCommTimeout:
+      return "comm_timeout";
+    case StatusCode::kDataCorruption:
+      return "data_corruption";
+    case StatusCode::kNoConvergence:
+      return "no_convergence";
+    case StatusCode::kInvalidInput:
+      return "invalid_input";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::ostringstream os;
+  os << status_code_name(code);
+  if (perturbations > 0) os << ": " << perturbations << " pivot(s) boosted";
+  if (failed_supernode != kNone) os << " [supernode " << failed_supernode
+                                    << "]";
+  if (!message.empty()) os << " — " << message;
+  return os.str();
+}
+
+Status Status::success(count_t perturbations) {
+  Status s;
+  s.code = perturbations > 0 ? StatusCode::kPerturbed : StatusCode::kOk;
+  s.perturbations = perturbations;
+  return s;
+}
+
+Status Status::failure(StatusCode code, std::string message,
+                       index_t supernode) {
+  Status s;
+  s.code = code;
+  s.message = std::move(message);
+  s.failed_supernode = supernode;
+  return s;
+}
+
+StatusError::StatusError(Status status)
+    : Error(status.to_string()), status_(std::move(status)) {}
+
+}  // namespace parfact

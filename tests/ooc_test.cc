@@ -14,6 +14,7 @@
 #include "sparse/gen.h"
 #include "sparse/ops.h"
 #include "support/prng.h"
+#include "support/status.h"
 
 namespace parfact {
 namespace {
@@ -107,6 +108,46 @@ TEST(Ooc, FileIsRemovedOnDestruction) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   EXPECT_EQ(f, nullptr);
   if (f != nullptr) std::fclose(f);
+}
+
+TEST(Ooc, ChecksumDetectsExternalCorruption) {
+  const std::string path = scratch_path("corrupt");
+  const SparseMatrix a = grid_laplacian_2d(10, 10, 5);
+  const SymbolicFactor sym = analyze(a);
+  const OocCholeskyFactor ooc = multifrontal_factor_ooc(sym, path);
+
+  // Clean read-back works.
+  const index_t f0 = sym.front_order(0);
+  const index_t p0 = sym.sn_cols(0);
+  std::vector<real_t> buf(static_cast<std::size_t>(f0) * p0, 0.0);
+  MatrixView panel{buf.data(), f0, p0, f0};
+  ooc.read_panel(0, panel);
+
+  // Corrupt the whole scratch file behind the factor's back (a torn write,
+  // bit rot, or another process scribbling on the spill path).
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 0, SEEK_END);
+    const long size = std::ftell(fp);
+    ASSERT_GT(size, 0);
+    std::fseek(fp, 0, SEEK_SET);
+    std::vector<unsigned char> junk(static_cast<std::size_t>(size), 0xA5);
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), fp), junk.size());
+    std::fclose(fp);
+  }
+
+  // The checksum must catch it — after the one re-read retry — and
+  // diagnose the panel, never return garbage numbers.
+  try {
+    ooc.read_panel(0, panel);
+    FAIL() << "corrupted panel read succeeded";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code, StatusCode::kDataCorruption);
+    EXPECT_EQ(e.status().failed_supernode, 0);
+    EXPECT_NE(e.status().message.find("checksum mismatch"),
+              std::string::npos);
+  }
 }
 
 // --- Schur complement ---------------------------------------------------------

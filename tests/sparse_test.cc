@@ -349,6 +349,124 @@ TEST(Io, RejectsOutOfRangeEntry) {
   EXPECT_THROW(read_matrix_market(ss), Error);
 }
 
+// Malformed-file pack: every corruption mode must surface as a clean
+// parfact::Error naming the offending line — never UB, an infinite loop,
+// or a silently misparsed matrix.
+
+namespace {
+std::string read_failure_message(const std::string& content) {
+  std::stringstream ss(content);
+  try {
+    (void)read_matrix_market(ss);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+}  // namespace
+
+TEST(Io, RejectsEmptyStream) {
+  EXPECT_NE(read_failure_message("").find("truncated"), std::string::npos);
+}
+
+TEST(Io, RejectsMissingSizeLine) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% only comments follow\n");
+  EXPECT_NE(msg.find("size line"), std::string::npos);
+}
+
+TEST(Io, RejectsTruncatedEntryList) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 5\n"
+      "1 1 1.0\n"
+      "2 2 1.0\n");
+  EXPECT_NE(msg.find("truncated entry list"), std::string::npos);
+  EXPECT_NE(msg.find("expected 5 entries, got 2"), std::string::npos);
+}
+
+TEST(Io, RejectsNonNumericTokenWithLineNumber) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n"
+      "2 banana 1.0\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos);
+  EXPECT_NE(msg.find("banana"), std::string::npos);
+}
+
+TEST(Io, RejectsPartialNumericToken) {
+  // "12abc" must not silently parse as 12.
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "30 30 1\n"
+      "12abc 1 1.0\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos);
+  EXPECT_NE(msg.find("malformed"), std::string::npos);
+}
+
+TEST(Io, RejectsNonNumericValue) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 one\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos);
+}
+
+TEST(Io, RejectsNonFiniteValue) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 nan\n");
+  EXPECT_NE(msg.find("non-finite"), std::string::npos);
+}
+
+TEST(Io, RejectsOverflowingDimensions) {
+  // 2^40 rows overflows the 32-bit index type and must be rejected before
+  // any allocation is attempted.
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1099511627776 3 1\n"
+      "1 1 1.0\n");
+  EXPECT_NE(msg.find("overflow"), std::string::npos);
+}
+
+TEST(Io, RejectsIntegerOverflowInSizeLine) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "99999999999999999999999999 3 1\n");
+  EXPECT_NE(msg.find("overflow"), std::string::npos);
+}
+
+TEST(Io, RejectsNegativeEntryCount) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 -1\n");
+  EXPECT_NE(msg.find("negative entry count"), std::string::npos);
+}
+
+TEST(Io, RejectsTrailingGarbageOnEntryLine) {
+  const std::string msg = read_failure_message(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "1 1 1.0 surprise\n");
+  EXPECT_NE(msg.find("trailing garbage"), std::string::npos);
+}
+
+TEST(Io, AcceptsBlankLinesBetweenEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "\n"
+      "2 2 4.0\n");
+  const MatrixMarketData d = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(d.matrix.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.matrix.at(1, 1), 4.0);
+}
+
 TEST(Io, SymmetricWriteRequiresLowerStorage) {
   std::stringstream ss;
   EXPECT_THROW(write_matrix_market(ss, small_full(), true), Error);
