@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "baseline/iccg.h"
+#include "dist/dist_factor.h"
+#include "dist/mapping.h"
 #include "graph/graph.h"
 #include "mf/multifrontal.h"
 #include "solve/condest.h"
@@ -93,6 +95,33 @@ Status Solver::factorize() {
   report_.peak_update_bytes = stats.peak_update_bytes;
   report_.pivot_perturbations = stats.pivot_perturbations;
   return Status::success(stats.pivot_perturbations);
+}
+
+Status Solver::factorize_distributed(int n_ranks,
+                                     const mpsim::MachineModel& model,
+                                     const mpsim::FaultPlan& faults) {
+  PARFACT_CHECK_MSG(sym_.has_value(),
+                    "factorize_distributed() before analyze()");
+  PARFACT_CHECK(n_ranks >= 1);
+  WallTimer timer;
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
+  const FrontMap map =
+      build_front_map(*sym_, n_ranks, MappingStrategy::kSubtree2d);
+  DistFactorResult result = distributed_factor_checked(
+      *sym_, map, model, options_.factor_kind, pivot, faults,
+      options_.resilience);
+  report_.rank_failures_recovered = result.run.ranks_recovered;
+  report_.recovery_virtual_seconds = result.run.recovery_overhead_seconds;
+  if (result.status.failed()) {
+    factor_.reset();
+    return result.status;
+  }
+  factor_.emplace(std::move(result.factor));
+  report_.factor_seconds = timer.seconds();
+  report_.pivot_perturbations = result.status.perturbations;
+  return result.status;
 }
 
 std::vector<real_t> Solver::solve(std::span<const real_t> b) const {

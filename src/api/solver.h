@@ -18,9 +18,11 @@
 #include <span>
 #include <vector>
 
+#include "dist/checkpoint.h"
 #include "graph/ordering.h"
 #include "mf/factor.h"
 #include "mf/multifrontal.h"
+#include "mpsim/machine.h"
 #include "sparse/sparse_matrix.h"
 #include "symbolic/symbolic_factor.h"
 
@@ -45,6 +47,10 @@ struct SolverOptions {
   real_t pivot_threshold = 0.0;   ///< boost threshold; 0 = sqrt(eps)·max|A|
   real_t target_residual = 1e-10; ///< solve_robust() acceptance residual
   int cg_max_iterations = 500;    ///< solve_robust() fallback CG budget
+  /// Crash-recovery configuration for factorize_distributed(): buddy
+  /// checkpointing cadence and the optional checksummed scratch spill.
+  /// Spare ranks themselves are part of the mpsim::FaultPlan.
+  ResiliencePolicy resilience;
 };
 
 /// Summary of the last analyze/factorize, in the units the paper reports.
@@ -58,6 +64,11 @@ struct SolverReport {
   double factor_seconds = 0.0;
   std::size_t peak_update_bytes = 0;
   count_t pivot_perturbations = 0;  ///< static-pivot boosts in factorize()
+  /// factorize_distributed() only: rank crashes a spare recovered, and the
+  /// virtual-time cost of those recoveries (lost work re-executed plus
+  /// checkpoint restore transfers).
+  count_t rank_failures_recovered = 0;
+  double recovery_virtual_seconds = 0.0;
 };
 
 /// Which path of the solve_robust() escalation produced the answer.
@@ -92,6 +103,19 @@ class Solver {
   /// instead of throwing; with static_pivoting=false a non-SPD/-factorizable
   /// matrix throws parfact::Error as before.
   Status factorize();
+
+  /// Distributed-memory numeric phase: runs the subtree-to-subcube
+  /// multifrontal factorization on `n_ranks` simulated mpsim ranks and
+  /// gathers the factor for the local solve paths. With a `faults` plan
+  /// carrying Crash entries and spare ranks, recovery follows
+  /// options.resilience (buddy checkpoints, spare adoption, partial
+  /// replay); the report then carries `rank_failures_recovered` and
+  /// `recovery_virtual_seconds`. Returns the factorization Status
+  /// (kOk/kPerturbed, or the diagnosed failure — e.g. kRankFailure when a
+  /// crash exhausts the spares) without throwing.
+  Status factorize_distributed(int n_ranks,
+                               const mpsim::MachineModel& model = {},
+                               const mpsim::FaultPlan& faults = {});
 
   /// Solves A x = b in the caller's original ordering; requires factorize().
   [[nodiscard]] std::vector<real_t> solve(std::span<const real_t> b) const;

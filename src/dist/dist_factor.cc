@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dense/kernels.h"
+#include "dist/checkpoint.h"
 #include "dist/front_blocks.h"
 #include "support/error.h"
 #include "support/status.h"
@@ -83,14 +84,23 @@ int block_owner(const FrontMap& map, index_t s, index_t ib, index_t jb) {
                        static_cast<int>(jb) % map.grid_cols[s]);
 }
 
-/// One rank's whole factorization program.
+/// One rank's whole factorization program. A fresh rank starts at supernode
+/// 0 with a zero perturbation count; a spare resuming a crashed rank starts
+/// at the checkpoint header's `next_supernode` with its recorded count —
+/// the fronts before that are complete, their panels already deposited in
+/// the shared factor, their contribution messages already in the retained
+/// logs (mpsim's sequence-number dedup makes any re-sent prefix harmless).
 class RankProgram {
  public:
   RankProgram(const SymbolicFactor& sym, const FrontMap& map,
               CholeskyFactor& factor, mpsim::Comm& comm, FactorKind kind,
-              std::span<real_t> d, const PivotPolicy& pivot)
+              std::span<real_t> d, const PivotPolicy& pivot,
+              const ResiliencePolicy& resilience,
+              index_t start_supernode = 0, count_t base_perturbations = 0)
       : sym_(sym), map_(map), factor_(factor), comm_(comm), kind_(kind),
-        d_(d), pivot_(pivot), boost_{pivot.threshold, pivot.value, 0} {
+        d_(d), pivot_(pivot),
+        boost_{pivot.threshold, pivot.value, base_perturbations},
+        ckpt_(comm, resilience), start_supernode_(start_supernode) {
     children_.resize(static_cast<std::size_t>(sym.n_supernodes));
     for (index_t s = 0; s < sym.n_supernodes; ++s) {
       if (sym.sn_parent[s] != kNone) {
@@ -100,9 +110,10 @@ class RankProgram {
   }
 
   void run() {
-    for (index_t s = 0; s < sym_.n_supernodes; ++s) {
+    for (index_t s = start_supernode_; s < sym_.n_supernodes; ++s) {
       if (!map_.participates(s, comm_.rank())) continue;
       process_front(s);
+      ckpt_.front_complete(s + 1, boost_.count);
     }
   }
 
@@ -406,8 +417,10 @@ class RankProgram {
             panel.at(r0 + i, c0 + j) = blk.at(i, j);
           }
         }
-        bytes += static_cast<count_t>(blk.rows) * blk.cols *
-                 static_cast<count_t>(sizeof(real_t));
+        const count_t blk_bytes = static_cast<count_t>(blk.rows) * blk.cols *
+                                  static_cast<count_t>(sizeof(real_t));
+        ckpt_.note_panel(blk.data, static_cast<std::size_t>(blk_bytes));
+        bytes += blk_bytes;
       }
     }
     // Owned factor panels persist for the solve phase.
@@ -467,6 +480,8 @@ class RankProgram {
     }
     const int tag = kTagStride * static_cast<int>(parent) + kTagExtendAdd;
     for (int d = 0; d < pcount; ++d) {
+      ckpt_.note_contribution(outbox[d].data(),
+                              outbox[d].size() * sizeof(EntryTriple));
       comm_.send_vec(pbegin + d, tag, outbox[d]);
     }
   }
@@ -479,6 +494,8 @@ class RankProgram {
   std::span<real_t> d_;  ///< shared diag(D) output in LDLᵀ mode
   PivotPolicy pivot_;
   PivotBoost boost_;  ///< per-rank static-pivoting counter
+  BuddyCheckpointer ckpt_;
+  index_t start_supernode_;  ///< first front to execute (resume point)
   std::vector<std::vector<index_t>> children_;
 };
 
@@ -488,7 +505,9 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
                                     const FrontMap& map,
                                     const mpsim::MachineModel& model,
                                     FactorKind kind, PivotPolicy pivot,
-                                    const mpsim::FaultPlan& faults) {
+                                    const mpsim::FaultPlan& faults,
+                                    const ResiliencePolicy& resilience) {
+  validate_resilience_policy(resilience);
   pivot = resolve_pivot_policy(pivot, sym.a);
   DistFactorResult result(sym);
   std::span<real_t> d;
@@ -496,7 +515,23 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
   std::atomic<count_t> perturbations{0};
   result.run =
       mpsim::run_spmd(map.n_ranks, model, faults, [&](mpsim::Comm& comm) {
-        RankProgram program(sym, map, result.factor, comm, kind, d, pivot);
+        index_t start_supernode = 0;
+        count_t base_perturbations = 0;
+        if (comm.is_spare()) {
+          // Stand by until our designated crash fires (or the run ends).
+          // Adoption rebinds this Comm to the dead rank and restores the
+          // communication-protocol snapshot; the checkpoint header tells
+          // us where to resume. A crashed incarnation never reaches the
+          // perturbation accumulation below, so this replacement reports
+          // the rank's full count (checkpoint base + replayed fronts).
+          const mpsim::Takeover takeover = comm.await_failure();
+          if (takeover.rank < 0) return;  // clean run; spare unused
+          const CheckpointImage image = decode_checkpoint(takeover.checkpoint);
+          start_supernode = image.next_supernode;
+          base_perturbations = image.perturbations;
+        }
+        RankProgram program(sym, map, result.factor, comm, kind, d, pivot,
+                            resilience, start_supernode, base_perturbations);
         program.run();
         perturbations.fetch_add(program.perturbations(),
                                 std::memory_order_relaxed);
@@ -511,9 +546,11 @@ DistFactorResult distributed_factor_checked(const SymbolicFactor& sym,
                                             const mpsim::MachineModel& model,
                                             FactorKind kind,
                                             PivotPolicy pivot,
-                                            const mpsim::FaultPlan& faults) {
+                                            const mpsim::FaultPlan& faults,
+                                            const ResiliencePolicy& resilience) {
   try {
-    return distributed_factor(sym, map, model, kind, pivot, faults);
+    return distributed_factor(sym, map, model, kind, pivot, faults,
+                              resilience);
   } catch (const StatusError& e) {
     DistFactorResult result(sym);
     result.status = e.status();

@@ -21,6 +21,7 @@
 // MUMPS-class baseline for experiment T3/F5.
 #pragma once
 
+#include "dist/checkpoint.h"
 #include "dist/mapping.h"
 #include "mf/factor.h"
 #include "mf/multifrontal.h"
@@ -50,11 +51,21 @@ struct DistFactorResult {
 /// mpsim retry protocol heals injected message faults — the factor is
 /// bitwise-identical to the fault-free run — or the run fails with a clean
 /// diagnosed StatusError, never a hang or a wrong answer.
+///
+/// Crash tolerance: with `faults.crashes` entries and `faults.spare_ranks`
+/// configured, a spare adopts each crashed rank (deterministic assignment),
+/// restores from the dead rank's buddy checkpoint per `resilience`, and
+/// re-executes only the unfinished fronts; the gathered factor and the
+/// pivot-perturbation count are again bitwise-identical to the fault-free
+/// run, with `result.run.ranks_recovered` and
+/// `result.run.recovery_overhead_seconds` quantifying the recovery. A crash
+/// with no spare left ends in a diagnosed kRankFailure.
 [[nodiscard]] DistFactorResult distributed_factor(
     const SymbolicFactor& sym, const FrontMap& map,
     const mpsim::MachineModel& model = {},
     FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
-    const mpsim::FaultPlan& faults = {});
+    const mpsim::FaultPlan& faults = {},
+    const ResiliencePolicy& resilience = {});
 
 /// Non-throwing variant: failures land in `result.status` instead of
 /// propagating as exceptions.
@@ -62,6 +73,7 @@ struct DistFactorResult {
     const SymbolicFactor& sym, const FrontMap& map,
     const mpsim::MachineModel& model = {},
     FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
-    const mpsim::FaultPlan& faults = {});
+    const mpsim::FaultPlan& faults = {},
+    const ResiliencePolicy& resilience = {});
 
 }  // namespace parfact

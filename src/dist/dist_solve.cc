@@ -367,6 +367,15 @@ DistSolveResult distributed_solve(const SymbolicFactor& sym,
                                   const mpsim::FaultPlan& faults) {
   PARFACT_CHECK(static_cast<count_t>(b.size()) ==
                 static_cast<count_t>(sym.n) * nrhs);
+  if (!faults.crashes.empty() || faults.spare_ranks > 0) {
+    // Crash recovery is a factorization-phase protocol (buddy checkpoints
+    // are taken at front boundaries); the solve sweeps have no resume
+    // points, so a crash plan here would be a silent hang waiting to occur.
+    throw StatusError(Status::failure(
+        StatusCode::kInvalidInput,
+        "distributed_solve does not support crash injection or spare "
+        "ranks; crash tolerance covers the factorization phase"));
+  }
   DistSolveResult result;
   result.x.assign(b.size(), 0.0);
   result.run =

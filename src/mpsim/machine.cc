@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -53,20 +54,82 @@ struct WireHeader {
   std::uint64_t seq;
 };
 
+/// Internal control-flow signal: this rank's virtual clock crossed its
+/// Crash{rank, at} entry. Deliberately not derived from parfact::Error so
+/// rank programs that catch Error cannot swallow a crash; run_spmd's thread
+/// wrapper is the only catcher.
+struct RankCrashed {};
+
+/// Validates a FaultPlan before any rank thread starts (satellite task:
+/// out-of-range rates used to feed the hash dice undefined probabilities).
+void validate_plan(const FaultPlan& p, int n_ranks) {
+  const auto fail = [](const std::string& what) {
+    throw StatusError(Status::failure(StatusCode::kInvalidInput,
+                                      "mpsim: invalid FaultPlan: " + what));
+  };
+  const auto rate = [&](double v, const char* name) {
+    if (!(v >= 0.0 && v <= 1.0)) {  // negated to also reject NaN
+      fail(std::string(name) + " must lie in [0, 1]");
+    }
+  };
+  rate(p.drop_rate, "drop_rate");
+  rate(p.duplicate_rate, "duplicate_rate");
+  rate(p.delay_rate, "delay_rate");
+  rate(p.ack_drop_rate, "ack_drop_rate");
+  if (!(p.delay_seconds >= 0.0)) fail("delay_seconds must be >= 0");
+  if (p.max_retries < 1) fail("max_retries must be >= 1");
+  if (!(p.retry_backoff_seconds > 0.0)) {
+    fail("retry_backoff_seconds must be > 0");
+  }
+  if (!(p.recv_timeout_host_seconds > 0.0)) {
+    fail("recv_timeout_host_seconds must be > 0");
+  }
+  if (p.spare_ranks < 0) fail("spare_ranks must be >= 0");
+  for (const FaultPlan::Stall& s : p.stalls) {
+    if (s.rank < 0 || s.rank >= n_ranks) fail("stall names a nonexistent rank");
+    if (!(s.at >= 0.0)) fail("stall time must be >= 0");
+    if (!(s.duration >= 0.0)) fail("stall duration must be >= 0");
+  }
+  for (const FaultPlan::Crash& c : p.crashes) {
+    if (c.rank < 0 || c.rank >= n_ranks) fail("crash names a nonexistent rank");
+    if (!(c.at >= 0.0)) fail("crash time must be >= 0");
+  }
+}
+
 }  // namespace
 
 class Machine {
  public:
+  enum RankState : std::uint8_t {
+    kAlive = 0,             // running (or already replaced by a spare)
+    kDeadRecoverable = 1,   // crashed; its designated spare will adopt it
+    kDeadUnrecoverable = 2  // crashed; no spare — peers must diagnose
+  };
+
   Machine(int n, const MachineModel& model, const FaultPlan& plan)
       : model_(model),
         plan_(plan),
         faults_(plan.active()),
+        retain_(!plan.crashes.empty() || plan.spare_ranks > 0),
         n_(n),
-        boxes_(static_cast<std::size_t>(n)) {}
+        boxes_(static_cast<std::size_t>(n)),
+        replacement_(static_cast<std::size_t>(n), -1),
+        spare_target_(static_cast<std::size_t>(std::max(plan.spare_ranks, 0)),
+                      -1),
+        dead_(static_cast<std::size_t>(n), 0),
+        death_clock_(static_cast<std::size_t>(n), 0.0),
+        checkpoints_(static_cast<std::size_t>(n)),
+        rank_state_(new std::atomic<std::uint8_t>[static_cast<std::size_t>(n)]) {
+    for (int r = 0; r < n; ++r) rank_state_[r].store(kAlive);
+  }
 
   const MachineModel model_;
   const FaultPlan plan_;
   const bool faults_;
+  /// Retention mode (any crash or spare configured): per-channel message
+  /// logs are never popped, receivers advance private cursors instead, so
+  /// a replacement rank can replay a dead rank's communication history.
+  const bool retain_;
   const int n_;
 
   struct Message {
@@ -95,11 +158,98 @@ class Machine {
   double coll_result_clock_ = 0.0;
   std::vector<std::byte> coll_result_payload_;
 
+  // Failure bookkeeping (death_mu_ serializes crash/adoption/checkpoint
+  // events so every FailureView observer sees a consistent epoch).
+  struct ProtocolSnapshot {
+    std::map<std::pair<int, int>, std::uint64_t> send_seq;
+    std::map<std::pair<int, int>, std::uint64_t> recv_seq;
+    std::map<std::pair<int, int>, std::size_t> consumed;
+    count_t mem_live = 0;
+    double clock = 0.0;
+  };
+  struct CheckpointSlot {
+    bool has = false;
+    std::vector<std::byte> blob;
+    ProtocolSnapshot snap;
+  };
+  std::mutex death_mu_;
+  std::condition_variable death_cv_;
+  std::vector<int> replacement_;   ///< base rank -> spare index or -1
+  std::vector<int> spare_target_;  ///< spare index -> base rank or -1
+  std::vector<char> dead_;
+  std::vector<double> death_clock_;
+  std::vector<CheckpointSlot> checkpoints_;
+  std::uint64_t epoch_ = 0;
+  std::vector<int> failed_;
+  std::vector<int> recovered_;
+  std::vector<int> lost_;  ///< crashed with no spare
+  int programs_remaining_ = 0;
+  bool run_over_ = false;
+  double recovery_overhead_ = 0.0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> rank_state_;
+  std::atomic<int> unrecoverable_deaths_{0};
+
   std::atomic<count_t> total_messages_{0};
   std::atomic<count_t> total_bytes_{0};
   std::atomic<count_t> total_retransmits_{0};
   std::atomic<count_t> total_dropped_{0};
+  std::atomic<count_t> checkpoints_stored_{0};
+  std::atomic<count_t> checkpoint_bytes_{0};
   std::atomic<bool> aborted_{false};
+
+  [[nodiscard]] RankState rank_state(int rank) const {
+    return static_cast<RankState>(rank_state_[rank].load());
+  }
+
+  /// Records a fired crash; returns whether a spare will take over. Wakes
+  /// every blocked receiver/collective waiter so wait predicates re-check
+  /// the dead rank's state instead of hanging.
+  bool note_death(int rank, double clock) {
+    bool recoverable = false;
+    {
+      std::lock_guard<std::mutex> lock(death_mu_);
+      dead_[static_cast<std::size_t>(rank)] = 1;
+      death_clock_[static_cast<std::size_t>(rank)] = clock;
+      ++epoch_;
+      failed_.push_back(rank);
+      recoverable = replacement_[static_cast<std::size_t>(rank)] >= 0;
+      rank_state_[rank].store(recoverable ? kDeadRecoverable
+                                          : kDeadUnrecoverable);
+      if (!recoverable) {
+        lost_.push_back(rank);
+        unrecoverable_deaths_.fetch_add(1);
+      }
+      death_cv_.notify_all();
+    }
+    for (auto& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(coll_mu_);
+      coll_cv_.notify_all();
+    }
+    return recoverable;
+  }
+
+  /// A base-rank program finished (normally, or was lost beyond recovery).
+  /// When the last one does, idle spares are released.
+  void note_program_done() {
+    std::lock_guard<std::mutex> lock(death_mu_);
+    if (--programs_remaining_ == 0) {
+      run_over_ = true;
+      death_cv_.notify_all();
+    }
+  }
+
+  [[nodiscard]] std::string lost_ranks_string() {
+    std::lock_guard<std::mutex> lock(death_mu_);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < lost_.size(); ++i) {
+      os << (i ? ", " : "") << lost_[i];
+    }
+    return os.str();
+  }
 
   void abort_all() {
     aborted_.store(true);
@@ -110,6 +260,10 @@ class Machine {
     {
       std::lock_guard<std::mutex> lock(coll_mu_);
       coll_cv_.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(death_mu_);
+      death_cv_.notify_all();
     }
   }
 
@@ -123,6 +277,8 @@ class Machine {
 int Comm::size() const { return machine_->n_; }
 
 const MachineModel& Comm::model() const { return machine_->model_; }
+
+bool Comm::is_spare() const { return rank_ >= machine_->n_; }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   PARFACT_CHECK(dest >= 0 && dest < machine_->n_);
@@ -150,6 +306,16 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
       machine_->total_bytes_.fetch_add(static_cast<count_t>(bytes));
     }
     return;
+  }
+
+  // A dead destination with a designated spare still accepts deliveries:
+  // they land in its retained log for the replacement to consume. A dead
+  // destination beyond recovery is a diagnosed failure, never a black hole.
+  if (machine_->rank_state(dest) == Machine::kDeadUnrecoverable) {
+    std::ostringstream os;
+    os << "mpsim: rank " << rank_ << " cannot send to rank " << dest
+       << " (tag " << tag << "): that rank crashed and no spare took over";
+    throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
   }
 
   // Fault-injection path. All fault decisions for this message are resolved
@@ -242,9 +408,17 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
 
   // Fault path: strip the wire header, accept exactly the next expected
   // sequence number, silently discard stale duplicates, and bound the host
-  // wait so an injected fault can never turn into a hang.
+  // wait so an injected fault can never turn into a hang. In retention
+  // mode the log is never popped — this rank's private cursor advances
+  // instead, and the wait also wakes when the source is dead beyond
+  // recovery (its stream can never be completed → kRankFailure). A source
+  // that is dead but has a designated spare keeps us waiting: the
+  // replacement will replay the stream, and the sequence check makes the
+  // already-consumed prefix idempotent.
   const FaultPlan& plan = machine_->plan_;
+  const bool retain = machine_->retain_;
   std::uint64_t& expected = recv_seq_[key];
+  std::size_t& cursor = consumed_[key];
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -253,8 +427,13 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
   for (;;) {
     const bool ready = box.cv.wait_until(lock, deadline, [&] {
       if (machine_->aborted_.load()) return true;
+      if (machine_->retain_ &&
+          machine_->rank_state(source) == Machine::kDeadUnrecoverable) {
+        return true;
+      }
       const auto it = box.queues.find(key);
-      return it != box.queues.end() && !it->second.empty();
+      if (it == box.queues.end()) return false;
+      return retain ? cursor < it->second.size() : !it->second.empty();
     });
     if (!ready) {
       lock.unlock();
@@ -267,8 +446,25 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
     }
     machine_->check_abort();
     auto& q = box.queues[key];
-    Machine::Message msg = std::move(q.front());
-    q.pop_front();
+    const bool have = retain ? cursor < q.size() : !q.empty();
+    if (!have) {
+      // Woken because the source crashed with no spare: whatever it sent
+      // before dying has been drained, and nothing more can ever come.
+      lock.unlock();
+      std::ostringstream os;
+      os << "mpsim: rank " << rank_ << " was waiting for (source " << source
+         << ", tag " << tag << ", seq " << expected << "), but rank "
+         << source << " crashed and no spare took over";
+      throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
+    }
+    Machine::Message msg;
+    if (retain) {
+      msg = q[cursor];  // copy: the log survives for a possible replay
+      ++cursor;
+    } else {
+      msg = std::move(q.front());
+      q.pop_front();
+    }
     PARFACT_CHECK(msg.data.size() >= sizeof(WireHeader));
     WireHeader header;
     std::memcpy(&header, msg.data.data(), sizeof header);
@@ -283,6 +479,7 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
     lock.unlock();
     clock_ = std::max(clock_, msg.arrival);
     apply_stalls();
+    maybe_crash();
     std::vector<std::byte> payload(msg.data.size() - sizeof header);
     if (!payload.empty()) {
       std::memcpy(payload.data(), msg.data.data() + sizeof header,
@@ -292,26 +489,39 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
   }
 }
 
-namespace {
-
-/// Shared rendezvous: combines (clock, sum, max, optional payload from
-/// `payload_rank`) across all ranks; returns after everyone arrived.
-struct CollResult {
-  double clock;
-  double sum;
-  double max;
-};
-
-}  // namespace
-
 void Comm::barrier() {
   (void)allreduce_sum(0.0);
 }
+
+namespace {
+
+/// Message/byte cost of one collective over n ranks, charged once by the
+/// last arriver (satellite task: collectives used to be invisible in
+/// RunStats, understating communication volume in every bench).
+void count_collective_traffic(Machine& m, count_t messages, count_t bytes) {
+  m.total_messages_.fetch_add(messages);
+  m.total_bytes_.fetch_add(bytes);
+}
+
+/// Raises kRankFailure naming the crashed rank(s): a collective can never
+/// complete once a participant is dead beyond recovery.
+[[noreturn]] void throw_collective_rank_failure(Machine& m, int rank) {
+  std::ostringstream os;
+  os << "mpsim: rank " << rank << " entered a collective, but rank(s) "
+     << m.lost_ranks_string() << " crashed and no spare took over";
+  throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
+}
+
+}  // namespace
 
 double Comm::allreduce_sum(double v) {
   Machine& m = *machine_;
   std::unique_lock<std::mutex> lock(m.coll_mu_);
   m.check_abort();
+  if (m.unrecoverable_deaths_.load() > 0) {
+    lock.unlock();
+    throw_collective_rank_failure(m, rank_);
+  }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) {
     m.coll_sum_ = 0.0;
@@ -327,17 +537,26 @@ double Comm::allreduce_sum(double v) {
     m.coll_result_clock_ = m.coll_clock_;
     m.coll_arrived_ = 0;
     ++m.coll_gen_;
+    count_collective_traffic(m, 2 * (m.n_ - 1),
+                             static_cast<count_t>(16 * (m.n_ - 1)));
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen;
+      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+             m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
+    if (m.coll_gen_ == my_gen) {
+      // Not a completed rendezvous: a participant died beyond recovery.
+      lock.unlock();
+      throw_collective_rank_failure(m, rank_);
+    }
   }
   // Binomial-tree reduce + broadcast of one double.
   const double cost = 2.0 * ceil_log2(m.n_) *
                       (m.model_.alpha + 8.0 * m.model_.beta);
   clock_ = m.coll_result_clock_ + cost;
+  maybe_crash();
   return m.coll_result_sum_;
 }
 
@@ -346,6 +565,10 @@ double Comm::allreduce_max(double v) {
   Machine& m = *machine_;
   std::unique_lock<std::mutex> lock(m.coll_mu_);
   m.check_abort();
+  if (m.unrecoverable_deaths_.load() > 0) {
+    lock.unlock();
+    throw_collective_rank_failure(m, rank_);
+  }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) {
     m.coll_sum_ = 0.0;
@@ -361,16 +584,24 @@ double Comm::allreduce_max(double v) {
     m.coll_result_clock_ = m.coll_clock_;
     m.coll_arrived_ = 0;
     ++m.coll_gen_;
+    count_collective_traffic(m, 2 * (m.n_ - 1),
+                             static_cast<count_t>(16 * (m.n_ - 1)));
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen;
+      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+             m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
+    if (m.coll_gen_ == my_gen) {
+      lock.unlock();
+      throw_collective_rank_failure(m, rank_);
+    }
   }
   const double cost = 2.0 * ceil_log2(m.n_) *
                       (m.model_.alpha + 8.0 * m.model_.beta);
   clock_ = m.coll_result_clock_ + cost;
+  maybe_crash();
   return m.coll_result_max_;
 }
 
@@ -379,6 +610,10 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
   Machine& m = *machine_;
   std::unique_lock<std::mutex> lock(m.coll_mu_);
   m.check_abort();
+  if (m.unrecoverable_deaths_.load() > 0) {
+    lock.unlock();
+    throw_collective_rank_failure(m, rank_);
+  }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) m.coll_clock_ = 0.0;
   if (rank_ == root) m.coll_payload_ = *data;
@@ -389,18 +624,136 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
     m.coll_result_clock_ = m.coll_clock_;
     m.coll_arrived_ = 0;
     ++m.coll_gen_;
+    count_collective_traffic(
+        m, m.n_ - 1,
+        static_cast<count_t>(m.coll_result_payload_.size()) * (m.n_ - 1));
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen;
+      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+             m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
+    if (m.coll_gen_ == my_gen) {
+      lock.unlock();
+      throw_collective_rank_failure(m, rank_);
+    }
   }
   if (rank_ != root) *data = m.coll_result_payload_;
   const double bytes = static_cast<double>(data->size());
   const double cost = ceil_log2(m.n_) *
                       (m.model_.alpha + bytes * m.model_.beta);
   clock_ = m.coll_result_clock_ + cost;
+  maybe_crash();
+}
+
+void Comm::checkpoint_save(int buddy, std::vector<std::byte> blob) {
+  PARFACT_CHECK(buddy >= 0 && buddy < machine_->n_);
+  machine_->check_abort();
+  const count_t bytes = static_cast<count_t>(blob.size());
+  if (buddy != rank_) {
+    // Synchronous ship to the buddy's memory: the checkpoint must be
+    // durable before this rank proceeds, so the full transfer is charged.
+    tick(machine_->model_.alpha +
+         static_cast<double>(bytes) * machine_->model_.beta);
+    machine_->total_messages_.fetch_add(1);
+    machine_->total_bytes_.fetch_add(bytes);
+  }
+  Machine::CheckpointSlot slot;
+  slot.has = true;
+  slot.snap.send_seq = send_seq_;
+  slot.snap.recv_seq = recv_seq_;
+  slot.snap.consumed = consumed_;
+  slot.snap.mem_live = mem_live_;
+  slot.snap.clock = clock_;
+  slot.blob = std::move(blob);
+  {
+    std::lock_guard<std::mutex> lock(machine_->death_mu_);
+    machine_->checkpoints_[static_cast<std::size_t>(rank_)] = std::move(slot);
+  }
+  machine_->checkpoints_stored_.fetch_add(1);
+  machine_->checkpoint_bytes_.fetch_add(bytes);
+}
+
+Takeover Comm::await_failure() {
+  Machine& m = *machine_;
+  PARFACT_CHECK_MSG(rank_ >= m.n_,
+                    "mpsim: await_failure is for spare ranks only");
+  const int spare_index = rank_ - m.n_;
+  const int target =
+      spare_index < static_cast<int>(m.spare_target_.size())
+          ? m.spare_target_[static_cast<std::size_t>(spare_index)]
+          : -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(m.plan_.recv_timeout_host_seconds));
+  std::unique_lock<std::mutex> lock(m.death_mu_);
+  const bool ready = m.death_cv_.wait_until(lock, deadline, [&] {
+    return m.aborted_.load() || m.run_over_ ||
+           (target >= 0 && m.dead_[static_cast<std::size_t>(target)] != 0);
+  });
+  if (!ready) {
+    lock.unlock();
+    std::ostringstream os;
+    os << "mpsim: spare rank " << rank_ << " timed out after "
+       << m.plan_.recv_timeout_host_seconds
+       << "s of host time waiting for a failure or run completion";
+    throw StatusError(Status::failure(StatusCode::kCommTimeout, os.str()));
+  }
+  m.check_abort();
+  if (target < 0 || m.dead_[static_cast<std::size_t>(target)] == 0) {
+    return Takeover{};  // run completed without this spare's crash firing
+  }
+
+  // Adopt the dead rank: this Comm *becomes* it. Protocol state (sequence
+  // counters, log cursors, live memory) is restored from the checkpoint
+  // snapshot, so replayed sends carry the original sequence numbers (peers
+  // discard the already-consumed prefix) and replayed receives resume at
+  // the right place in the retained logs. With no checkpoint the state is
+  // pristine and the replacement replays the rank's life from the start.
+  Takeover t;
+  t.rank = target;
+  t.failed_at = m.death_clock_[static_cast<std::size_t>(target)];
+  const Machine::CheckpointSlot& slot =
+      m.checkpoints_[static_cast<std::size_t>(target)];
+  double checkpoint_clock = 0.0;
+  if (slot.has) {
+    t.checkpoint = slot.blob;
+    send_seq_ = slot.snap.send_seq;
+    recv_seq_ = slot.snap.recv_seq;
+    consumed_ = slot.snap.consumed;
+    mem_live_ = slot.snap.mem_live;
+    mem_peak_ = std::max(mem_peak_, mem_live_);
+    checkpoint_clock = slot.snap.clock;
+  }
+  // Fetching the blob back from the buddy is the restore's wire cost.
+  const double restore_cost =
+      m.model_.alpha +
+      static_cast<double>(t.checkpoint.size()) * m.model_.beta;
+  clock_ = t.failed_at + restore_cost;
+  crash_at_ = std::numeric_limits<double>::infinity();
+  rank_ = target;
+  m.recovered_.push_back(target);
+  m.recovery_overhead_ += (t.failed_at - checkpoint_clock) + restore_cost;
+  m.rank_state_[target].store(Machine::kAlive);
+  lock.unlock();
+  if (!t.checkpoint.empty()) {
+    machine_->total_messages_.fetch_add(1);
+    machine_->total_bytes_.fetch_add(
+        static_cast<count_t>(t.checkpoint.size()));
+  }
+  return t;
+}
+
+FailureView Comm::failure_view() const {
+  Machine& m = *machine_;
+  std::lock_guard<std::mutex> lock(m.death_mu_);
+  FailureView view;
+  view.epoch = m.epoch_;
+  view.failed = m.failed_;
+  view.recovered = m.recovered_;
+  return view;
 }
 
 void Comm::advance_compute(count_t flops) {
@@ -432,6 +785,21 @@ void Comm::apply_stalls() {
   }
 }
 
+void Comm::maybe_crash() {
+  if (clock_ >= crash_at_) {
+    // Death lands exactly at the planned instant regardless of how far the
+    // crossing advance overshot — keeps the failure schedule deterministic.
+    clock_ = crash_at_;
+    throw RankCrashed{};
+  }
+}
+
+void Comm::tick(double seconds) {
+  clock_ += seconds;
+  apply_stalls();
+  maybe_crash();
+}
+
 void Comm::memory_add(count_t bytes) {
   mem_live_ += bytes;
   mem_peak_ = std::max(mem_peak_, mem_live_);
@@ -451,23 +819,64 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
                   const FaultPlan& faults,
                   const std::function<void(Comm&)>& rank_fn) {
   PARFACT_CHECK(n_ranks >= 1);
-  PARFACT_CHECK(faults.max_retries >= 0);
+  validate_plan(faults, n_ranks);
   Machine machine(n_ranks, model, faults);
+  const int n_total = n_ranks + faults.spare_ranks;
+
+  // Deterministic spare assignment: the k-th crash to fire (sorted by
+  // (at, rank); a rank dies at most once, at its earliest entry) is adopted
+  // by the k-th spare. The whole recovery schedule is thereby a pure
+  // function of the plan — no races decide who rescues whom.
+  {
+    std::vector<FaultPlan::Crash> order = faults.crashes;
+    std::sort(order.begin(), order.end(),
+              [](const FaultPlan::Crash& a, const FaultPlan::Crash& b) {
+                return a.at < b.at || (a.at == b.at && a.rank < b.rank);
+              });
+    std::vector<char> seen(static_cast<std::size_t>(n_ranks), 0);
+    int next_spare = 0;
+    for (const FaultPlan::Crash& c : order) {
+      if (seen[static_cast<std::size_t>(c.rank)] != 0) continue;
+      seen[static_cast<std::size_t>(c.rank)] = 1;
+      if (next_spare < faults.spare_ranks) {
+        machine.replacement_[static_cast<std::size_t>(c.rank)] = next_spare;
+        machine.spare_target_[static_cast<std::size_t>(next_spare)] = c.rank;
+        ++next_spare;
+      }
+    }
+  }
+
   std::vector<Comm> comms;
-  comms.reserve(static_cast<std::size_t>(n_ranks));
-  for (int r = 0; r < n_ranks; ++r) {
+  comms.reserve(static_cast<std::size_t>(n_total));
+  for (int r = 0; r < n_total; ++r) {
     comms.push_back(Comm(&machine, r));
     comms.back().stall_fired_.assign(faults.stalls.size(), 0);
+    double at = std::numeric_limits<double>::infinity();
+    if (r < n_ranks) {
+      for (const FaultPlan::Crash& c : faults.crashes) {
+        if (c.rank == r) at = std::min(at, c.at);
+      }
+    }
+    comms.back().crash_at_ = at;
   }
+  machine.programs_remaining_ = n_ranks;
 
   std::mutex err_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_ranks));
-  for (int r = 0; r < n_ranks; ++r) {
+  threads.reserve(static_cast<std::size_t>(n_total));
+  for (int r = 0; r < n_total; ++r) {
     threads.emplace_back([&, r] {
+      Comm& comm = comms[r];
       try {
-        rank_fn(comms[r]);
+        comm.maybe_crash();  // a Crash{rank, at: 0} fires before any work
+        rank_fn(comm);
+        // A base rank finishing, or a spare that adopted one (its rank()
+        // rebound below n_ranks), retires one of the n_ranks programs.
+        if (comm.rank_ < n_ranks) machine.note_program_done();
+      } catch (const RankCrashed&) {
+        const bool recoverable = machine.note_death(comm.rank_, comm.clock_);
+        if (!recoverable) machine.note_program_done();  // program is lost
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(err_mu);
@@ -479,21 +888,41 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  if (!machine.lost_.empty()) {
+    // Every surviving program finished without touching the dead rank(s);
+    // the run still must not pretend the factorization is whole.
+    std::ostringstream os;
+    os << "mpsim: rank(s) " << machine.lost_ranks_string()
+       << " crashed and no spare took over";
+    throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
+  }
 
   RunStats stats;
-  stats.rank_time.reserve(comms.size());
-  stats.rank_compute.reserve(comms.size());
-  stats.rank_peak_bytes.reserve(comms.size());
+  stats.rank_time.assign(static_cast<std::size_t>(n_ranks), 0.0);
+  stats.rank_compute.assign(static_cast<std::size_t>(n_ranks), 0.0);
+  stats.rank_peak_bytes.assign(static_cast<std::size_t>(n_ranks), 0);
   for (const Comm& c : comms) {
-    stats.rank_time.push_back(c.clock_);
-    stats.rank_compute.push_back(c.compute_time_);
-    stats.rank_peak_bytes.push_back(c.mem_peak_);
-    stats.makespan = std::max(stats.makespan, c.clock_);
+    // A crashed incarnation and its replacement merge into one rank slot:
+    // the rank's finish time is the replacement's, compute adds up (the
+    // replayed interval really was executed twice in virtual time), and
+    // peak memory takes the worse of the two. Idle spares report nothing.
+    if (c.rank_ >= n_ranks) continue;
+    const auto slot = static_cast<std::size_t>(c.rank_);
+    stats.rank_time[slot] = std::max(stats.rank_time[slot], c.clock_);
+    stats.rank_compute[slot] += c.compute_time_;
+    stats.rank_peak_bytes[slot] =
+        std::max(stats.rank_peak_bytes[slot], c.mem_peak_);
   }
+  for (double t : stats.rank_time) stats.makespan = std::max(stats.makespan, t);
   stats.total_messages = machine.total_messages_.load();
   stats.total_bytes = machine.total_bytes_.load();
   stats.total_retransmits = machine.total_retransmits_.load();
   stats.total_dropped = machine.total_dropped_.load();
+  stats.rank_crashes = static_cast<count_t>(machine.failed_.size());
+  stats.ranks_recovered = static_cast<count_t>(machine.recovered_.size());
+  stats.checkpoints_stored = machine.checkpoints_stored_.load();
+  stats.checkpoint_bytes = machine.checkpoint_bytes_.load();
+  stats.recovery_overhead_seconds = machine.recovery_overhead_;
   return stats;
 }
 

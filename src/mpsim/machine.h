@@ -23,8 +23,10 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <vector>
 
+#include "support/status.h"
 #include "support/types.h"
 
 namespace parfact::mpsim {
@@ -49,6 +51,13 @@ struct RunStats {
   std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
   count_t total_retransmits = 0;  ///< fault-injected extra transmissions
   count_t total_dropped = 0;      ///< fault-injected message losses
+  count_t rank_crashes = 0;       ///< injected rank crashes that fired
+  count_t ranks_recovered = 0;    ///< crashed ranks taken over by a spare
+  count_t checkpoints_stored = 0; ///< buddy checkpoints accepted
+  count_t checkpoint_bytes = 0;   ///< total checkpoint payload shipped
+  /// Σ over recoveries of (death − last checkpoint clock + restore cost):
+  /// the virtual time of re-executed lost work plus state transfer.
+  double recovery_overhead_seconds = 0.0;
 };
 
 /// Deterministic fault-injection plan for one SPMD run. All randomness is a
@@ -66,7 +75,20 @@ struct RunStats {
 /// fault-free run — faults cost only virtual time — or, if `max_retries`
 /// consecutive copies of one message are dropped, the send throws
 /// StatusError(kCommFailure). Collectives are full-rendezvous in-memory
-/// exchanges and are not subject to faults.
+/// exchanges and are not subject to message faults.
+///
+/// Crash model: a `Crash{rank, at}` entry kills rank `rank` the moment its
+/// virtual clock reaches `at` (mid-front, mid-panel, wherever that lands).
+/// With `spare_ranks > 0`, run_spmd launches that many extra standby ranks;
+/// the k-th spare is statically bound to the k-th crash entry (sorted by
+/// (at, rank)), which makes the whole failure/recovery schedule a pure
+/// function of the plan. A crashed rank with a designated spare is
+/// *recoverable*: sends to it keep landing in its (retained) message log
+/// for the replacement to replay, and receives from it block until the
+/// replacement re-produces the stream. A crash with no spare left is
+/// *unrecoverable*: sends to and receives from the dead rank raise
+/// StatusError(kRankFailure), and crash-aware collectives fail the same way
+/// instead of deadlocking.
 struct FaultPlan {
   std::uint64_t seed = 1;          ///< dice seed; same seed → same faults
   double drop_rate = 0.0;          ///< P(message copy is lost on the link)
@@ -85,10 +107,22 @@ struct FaultPlan {
     double duration = 0.0;
   };
   std::vector<Stall> stalls;
+  /// Rank `rank` dies the first time its clock reaches `at`. Only base
+  /// ranks may crash; a replacement that has adopted a dead rank's identity
+  /// does not inherit its crash entries (no cascading re-crash).
+  struct Crash {
+    int rank = 0;
+    double at = 0.0;
+  };
+  std::vector<Crash> crashes;
+  /// Standby ranks available to adopt crashed ranks (see Comm::await_failure).
+  /// Rank programs must handle Comm::is_spare() when this is nonzero.
+  int spare_ranks = 0;
 
   [[nodiscard]] bool active() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
-           ack_drop_rate > 0.0 || !stalls.empty();
+           ack_drop_rate > 0.0 || !stalls.empty() || !crashes.empty() ||
+           spare_ranks > 0;
   }
 };
 
@@ -102,10 +136,31 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
                   const std::function<void(Comm&)>& rank_fn);
 
 /// As above with fault injection. An inactive plan behaves exactly like the
-/// overload without one (no wire headers, no timeouts).
+/// overload without one (no wire headers, no timeouts). The plan is
+/// validated on entry: out-of-range rates, non-positive retry/backoff
+/// bounds, or crash/stall entries naming nonexistent ranks raise
+/// StatusError(kInvalidInput) before any rank thread starts. With
+/// `faults.spare_ranks > 0`, `rank_fn` is additionally invoked on the spare
+/// ranks, which must call `await_failure()` (see below).
 RunStats run_spmd(int n_ranks, const MachineModel& model,
                   const FaultPlan& faults,
                   const std::function<void(Comm&)>& rank_fn);
+
+/// What a spare rank learns when it is activated (or released).
+struct Takeover {
+  int rank = -1;        ///< adopted rank id, or -1: run ended, spare unused
+  double failed_at = 0.0;  ///< virtual death time of the adopted rank
+  /// Last buddy-checkpoint blob the dead rank saved (empty if it never
+  /// checkpointed: the replacement then replays from the very beginning).
+  std::vector<std::byte> checkpoint;
+};
+
+/// Consistent snapshot of the machine's failure bookkeeping.
+struct FailureView {
+  std::uint64_t epoch = 0;      ///< number of crashes fired so far
+  std::vector<int> failed;      ///< ranks that crashed
+  std::vector<int> recovered;   ///< crashed ranks adopted by a spare
+};
 
 /// Per-rank communicator handle passed to the rank program.
 class Comm {
@@ -113,6 +168,8 @@ class Comm {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const;
   [[nodiscard]] const MachineModel& model() const;
+  /// True while this rank is an unassigned standby (rank() >= size()).
+  [[nodiscard]] bool is_spare() const;
 
   /// Blocking tagged send (buffered: returns after the sender-side cost).
   void send(int dest, int tag, const void* data, std::size_t bytes);
@@ -130,18 +187,51 @@ class Comm {
   [[nodiscard]] std::vector<T> recv_vec(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::vector<std::byte> raw = recv(source, tag);
+    if (raw.size() % sizeof(T) != 0) {
+      std::ostringstream os;
+      os << "mpsim: rank " << rank_ << " received " << raw.size()
+         << " bytes from (source " << source << ", tag " << tag
+         << "), not a multiple of the element size " << sizeof(T);
+      throw StatusError(Status::failure(StatusCode::kDataCorruption,
+                                        os.str()));
+    }
     std::vector<T> v(raw.size() / sizeof(T));
     if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
     return v;
   }
 
-  /// Collectives over all ranks (every rank must call).
+  /// Collectives over all base ranks (every base rank must call; standby
+  /// spares never participate). With an active crash plan a collective
+  /// raises StatusError(kRankFailure) instead of deadlocking when a
+  /// participant is dead beyond recovery.
   void barrier();
   [[nodiscard]] double allreduce_sum(double v);
   [[nodiscard]] double allreduce_max(double v);
   /// Root's buffer is distributed to everyone; non-roots pass their out
   /// buffer which is resized.
   void bcast(int root, std::vector<std::byte>* data);
+
+  /// Buddy checkpoint: ships `blob` to (notionally) rank `buddy`'s memory
+  /// and snapshots this rank's communication-protocol state (sequence
+  /// counters, log cursors, clock, live memory) alongside it, so a
+  /// replacement can resume exactly at this boundary. Charged to the
+  /// virtual clock like a message of the same size. Overwrites the
+  /// previous checkpoint of this rank.
+  void checkpoint_save(int buddy, std::vector<std::byte> blob);
+
+  /// Spare ranks only: blocks until this spare's designated crash fires
+  /// (returning the adopted rank id with its death time and last
+  /// checkpoint) or the run completes without it (rank == -1). On
+  /// adoption this Comm *becomes* the dead rank: rank() changes, the
+  /// protocol state is restored from the checkpoint snapshot, the clock is
+  /// set to the death time plus the state-transfer cost, and the program
+  /// should re-run the dead rank's work from the checkpoint.
+  [[nodiscard]] Takeover await_failure();
+
+  /// Failure-notification snapshot: epoch (crashes fired so far) and the
+  /// failed/recovered rank sets. Serialized against crash bookkeeping, so
+  /// every rank observing epoch e sees identical sets.
+  [[nodiscard]] FailureView failure_view() const;
 
   /// Virtual-time hooks.
   void advance_compute(count_t flops);
@@ -161,11 +251,10 @@ class Comm {
 
   /// Applies any pending stall window this rank's clock has reached.
   void apply_stalls();
-  /// Advances the clock and triggers stall windows it crosses.
-  void tick(double seconds) {
-    clock_ += seconds;
-    apply_stalls();
-  }
+  /// Fires this rank's crash entry if the clock has crossed it.
+  void maybe_crash();
+  /// Advances the clock and triggers stall/crash windows it crosses.
+  void tick(double seconds);
 
   Machine* machine_;
   int rank_;
@@ -173,11 +262,17 @@ class Comm {
   double compute_time_ = 0.0;
   count_t mem_live_ = 0;
   count_t mem_peak_ = 0;
+  /// Virtual time at which this incarnation dies. run_spmd sets it (to the
+  /// rank's earliest Crash entry, or +infinity) before the thread starts;
+  /// adoption by a spare resets it to +infinity.
+  double crash_at_ = 0.0;
   /// Fault-protocol state (unused when the plan is inactive): next sequence
-  /// number per (dest, tag) link, next expected per (source, tag) link, and
+  /// number per (dest, tag) link, next expected per (source, tag) link,
+  /// per-channel consumed-entry cursor into the retained message log, and
   /// which of the plan's stall windows already fired for this rank.
   std::map<std::pair<int, int>, std::uint64_t> send_seq_;
   std::map<std::pair<int, int>, std::uint64_t> recv_seq_;
+  std::map<std::pair<int, int>, std::size_t> consumed_;
   std::vector<char> stall_fired_;
 };
 

@@ -17,6 +17,8 @@ const char* status_code_name(StatusCode code) {
       return "comm_failure";
     case StatusCode::kCommTimeout:
       return "comm_timeout";
+    case StatusCode::kRankFailure:
+      return "rank_failure";
     case StatusCode::kDataCorruption:
       return "data_corruption";
     case StatusCode::kNoConvergence:

@@ -24,6 +24,7 @@ enum class StatusCode {
   kBreakdown,       ///< numeric breakdown not recoverable by boosting
   kCommFailure,     ///< message lost after exhausting retries
   kCommTimeout,     ///< recv waited past the host-time safety timeout
+  kRankFailure,     ///< a rank crashed and no spare could take over
   kDataCorruption,  ///< OOC panel checksum mismatch after re-read retry
   kNoConvergence,   ///< refinement/CG escalation missed the residual target
   kInvalidInput,    ///< malformed input detected before factorization
