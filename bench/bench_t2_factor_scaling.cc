@@ -21,16 +21,18 @@ int main() {
     const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
     std::printf("\n%-12s (n=%d, %.2f GFLOP)\n", prob.name.c_str(), sym.n,
                 static_cast<double>(sym.total_flops) / 1e9);
-    std::printf("%6s %12s %12s %10s\n", "P", "time [s]", "Gflop/s", "eff");
+    std::printf("%6s %12s %12s %10s %12s %9s\n", "P", "time [s]", "Gflop/s",
+                "eff", "idle [s]", "overlap");
     double t1 = 0.0;
     for (const int p : ps) {
       const FrontMap map =
           build_front_map(sym, p, MappingStrategy::kSubtree2d);
       const PerfResult r = simulate_factor_time(sym, map, model);
       if (p == 1) t1 = r.makespan;
-      std::printf("%6d %12.4f %12.2f %9.0f%%\n", p, r.makespan,
+      std::printf("%6d %12.4f %12.2f %9.0f%% %12.4f %8.1f%%\n", p, r.makespan,
                   static_cast<double>(sym.total_flops) / r.makespan / 1e9,
-                  100.0 * t1 / r.makespan / p);
+                  100.0 * t1 / r.makespan / p, r.idle_wait_seconds,
+                  100.0 * r.overlap_efficiency);
     }
   }
   return 0;

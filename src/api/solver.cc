@@ -114,6 +114,9 @@ Status Solver::factorize_distributed(int n_ranks,
       options_.resilience);
   report_.rank_failures_recovered = result.run.ranks_recovered;
   report_.recovery_virtual_seconds = result.run.recovery_overhead_seconds;
+  report_.comm_idle_wait_seconds = result.run.idle_wait_seconds;
+  report_.comm_overlap_efficiency = result.run.overlap_efficiency;
+  report_.max_in_flight_messages = result.run.max_in_flight_messages;
   if (result.status.failed()) {
     factor_.reset();
     return result.status;

@@ -69,6 +69,15 @@ struct SolverReport {
   /// checkpoint restore transfers).
   count_t rank_failures_recovered = 0;
   double recovery_virtual_seconds = 0.0;
+  /// factorize_distributed() only: communication/computation overlap
+  /// diagnostics of the simulated run. Idle wait is the summed virtual time
+  /// ranks spent blocked on message arrival; overlap efficiency is
+  /// 1 − idle / Σ rank seconds (1.0 means no rank ever stalled on a
+  /// message); max in-flight is the high-water mark of delivered-but-not-
+  /// yet-consumed messages across the machine.
+  double comm_idle_wait_seconds = 0.0;
+  double comm_overlap_efficiency = 1.0;
+  count_t max_in_flight_messages = 0;
 };
 
 /// Which path of the solve_robust() escalation produced the answer.

@@ -1,0 +1,27 @@
+// Tuning knobs of the distributed factorization. Both knobs are pure
+// schedule/wire-format choices: every combination produces the bitwise
+// identical factor (tests/dist_test.cc asserts it), they differ only in
+// virtual time and message volume.
+#pragma once
+
+namespace parfact {
+
+struct DistConfig {
+  /// Block-column schedule of the 2-D block-cyclic front factorization.
+  enum class Schedule {
+    kBlocking,   ///< fully synchronous right-looking loop (PR 1 behavior)
+    kLookahead,  ///< depth-1 panel lookahead with preposted receives
+  };
+  /// Wire format of the child → parent extend-add contributions.
+  enum class ExtendAddFormat {
+    kTriples,  ///< per-entry {row, col, value} triples (16 B/entry)
+    kPacked,   ///< packed dense values in canonical order (8 B/entry); the
+               ///< index "header" is implicit — both endpoints derive the
+               ///< same enumeration from the symbolic structure
+  };
+
+  Schedule schedule = Schedule::kLookahead;
+  ExtendAddFormat extend_add = ExtendAddFormat::kPacked;
+};
+
+}  // namespace parfact

@@ -9,6 +9,7 @@
 
 #include "dense/kernels.h"
 #include "dist/checkpoint.h"
+#include "dist/extend_add.h"
 #include "dist/front_blocks.h"
 #include "support/error.h"
 #include "support/status.h"
@@ -95,12 +96,13 @@ class RankProgram {
   RankProgram(const SymbolicFactor& sym, const FrontMap& map,
               CholeskyFactor& factor, mpsim::Comm& comm, FactorKind kind,
               std::span<real_t> d, const PivotPolicy& pivot,
-              const ResiliencePolicy& resilience,
+              const ResiliencePolicy& resilience, const DistConfig& config,
               index_t start_supernode = 0, count_t base_perturbations = 0)
       : sym_(sym), map_(map), factor_(factor), comm_(comm), kind_(kind),
         d_(d), pivot_(pivot),
         boost_{pivot.threshold, pivot.value, base_perturbations},
-        ckpt_(comm, resilience), start_supernode_(start_supernode) {
+        ckpt_(comm, resilience), config_(config),
+        start_supernode_(start_supernode) {
     children_.resize(static_cast<std::size_t>(sym.n_supernodes));
     for (index_t s = 0; s < sym.n_supernodes; ++s) {
       if (sym.sn_parent[s] != kNone) {
@@ -121,6 +123,10 @@ class RankProgram {
   /// one rank, so the per-rank counts sum to the global count).
   [[nodiscard]] count_t perturbations() const { return boost_.count; }
 
+  /// Extend-add wire traffic this rank produced (sender-side count).
+  [[nodiscard]] count_t extend_add_bytes() const { return ea_bytes_; }
+  [[nodiscard]] count_t extend_add_entries() const { return ea_entries_; }
+
  private:
   void process_front(index_t s) {
     const FrontBlocking fb =
@@ -134,11 +140,25 @@ class RankProgram {
     LocalFront front(fb, pr, pc, gr, gc);
     comm_.memory_add(front.bytes());
 
+    // Lookahead schedule: prepost one receive per (child, source rank)
+    // extend-add message before touching the matrix entries, so the
+    // children's contribution traffic arrives while this rank assembles.
+    std::vector<mpsim::Request> ea_reqs;
+    if (config_.schedule == DistConfig::Schedule::kLookahead) {
+      for (index_t c : children_[s]) {
+        const int begin = map_.rank_begin[c];
+        const int end = begin + map_.rank_count[c];
+        const int tag = kTagStride * static_cast<int>(s) + kTagExtendAdd;
+        for (int src = begin; src < end; ++src) {
+          ea_reqs.push_back(comm_.irecv(src, tag));
+        }
+      }
+    }
     assemble_matrix_entries(s, front);
-    receive_extend_adds(s, front);
+    receive_extend_adds(s, front, ea_reqs);
     factorize(s, front, pr, pc, gr, gc);
     store_panel(s, front);
-    send_update(s, front);
+    send_update(s, front, gr, gc);
     comm_.memory_sub(front.bytes());
   }
 
@@ -173,26 +193,70 @@ class RankProgram {
   }
 
   /// Receive the (possibly empty) extend-add message from every rank of
-  /// every child, in (child, source-rank) ascending order.
-  void receive_extend_adds(index_t s, LocalFront& front) {
+  /// every child, in (child, source-rank) ascending order. With preposted
+  /// requests (lookahead) the same messages are waited in the same order,
+  /// so the floating-point accumulation order is identical.
+  void receive_extend_adds(index_t s, LocalFront& front,
+                           std::vector<mpsim::Request>& ea_reqs) {
+    const bool posted = !ea_reqs.empty();
+    std::size_t next_req = 0;
     for (index_t c : children_[s]) {
       const int begin = map_.rank_begin[c];
       const int end = begin + map_.rank_count[c];
+      const int tag = kTagStride * static_cast<int>(s) + kTagExtendAdd;
+      // The receiver replays the sender's canonical enumeration to
+      // reconstruct the packed payload's indices (see extend_add.h).
+      ExtendAddPlan plan;
+      if (config_.extend_add == DistConfig::ExtendAddFormat::kPacked) {
+        plan = make_extend_add_plan(sym_, map_, c);
+      }
       for (int src = begin; src < end; ++src) {
-        const auto triples = comm_.recv_vec<EntryTriple>(
-            src, kTagStride * static_cast<int>(s) + kTagExtendAdd);
-        for (const EntryTriple& t : triples) {
-          front.add_entry(t.row, t.col, t.value);
+        if (config_.extend_add == DistConfig::ExtendAddFormat::kTriples) {
+          const auto triples =
+              posted ? comm_.wait_vec<EntryTriple>(ea_reqs[next_req++])
+                     : comm_.recv_vec<EntryTriple>(src, tag);
+          for (const EntryTriple& t : triples) {
+            front.add_entry(t.row, t.col, t.value);
+          }
+          comm_.advance_bytes(static_cast<count_t>(triples.size()) *
+                              static_cast<count_t>(sizeof(EntryTriple)));
+        } else {
+          const auto values =
+              posted ? comm_.wait_vec<real_t>(ea_reqs[next_req++])
+                     : comm_.recv_vec<real_t>(src, tag);
+          const auto [sgr, sgc] = map_.grid_coords(c, src);
+          std::size_t pos = 0;
+          for_each_contribution(
+              plan, map_, sgr, sgc,
+              [&](index_t, index_t, index_t, index_t, index_t row,
+                  index_t col, int owner) {
+                if (owner != comm_.rank()) return;
+                PARFACT_CHECK_MSG(pos < values.size(),
+                                  "packed extend-add payload too short");
+                front.add_entry(row, col, values[pos++]);
+              });
+          PARFACT_CHECK_MSG(pos == values.size(),
+                            "packed extend-add payload size mismatch");
+          comm_.advance_bytes(static_cast<count_t>(values.size()) *
+                              static_cast<count_t>(sizeof(real_t)));
         }
-        comm_.advance_bytes(static_cast<count_t>(triples.size()) *
-                            static_cast<count_t>(sizeof(EntryTriple)));
       }
     }
   }
 
-  /// Block-cyclic right-looking partial Cholesky of the front.
   void factorize(index_t s, LocalFront& front, int pr, int pc, int gr,
                  int gc) {
+    if (config_.schedule == DistConfig::Schedule::kBlocking) {
+      factorize_blocking(s, front, pr, pc, gr, gc);
+    } else {
+      factorize_lookahead(s, front, pr, pc, gr, gc);
+    }
+  }
+
+  /// Block-cyclic right-looking partial Cholesky of the front, fully
+  /// synchronous (every panel boundary is a rank-wide stall).
+  void factorize_blocking(index_t s, LocalFront& front, int pr, int pc,
+                          int gr, int gc) {
     const FrontBlocking& fb = front.blocking();
     const int tag_diag = kTagStride * static_cast<int>(s) + kTagDiag;
     const int tag_panel = kTagStride * static_cast<int>(s) + kTagPanel;
@@ -376,6 +440,256 @@ class RankProgram {
     }
   }
 
+  /// Per-panel in-flight state of the lookahead pipeline. Movable: the
+  /// heap buffers (and the l_kk view into diag_buf) survive the move.
+  struct PanelState {
+    std::vector<real_t> diag_buf;  ///< L_kk (+ diag(D) tail in LDLᵀ mode)
+    std::vector<real_t> dk;        ///< diag(D) of this block column (LDLᵀ)
+    ConstMatrixView l_kk{};
+    mpsim::Request diag_req;
+    bool expect_diag = false;
+    std::map<index_t, std::vector<real_t>> remote;  ///< fetched panel blocks
+    std::vector<std::pair<index_t, mpsim::Request>> panel_reqs;
+  };
+
+  /// Posts the receives block column kb will need: the diagonal broadcast
+  /// (if this rank sits in kb's grid column below the diagonal owner) and
+  /// every remote panel block its trailing updates consume, in ascending
+  /// block index — the order the owners send them, so the preposted FIFO
+  /// tickets match the blocking schedule's recv order exactly.
+  void post_panel_receives(index_t s, const FrontBlocking& fb, int pr,
+                           int pc, int gr, int gc, index_t kb,
+                           PanelState& st) {
+    const int tag_diag = kTagStride * static_cast<int>(s) + kTagDiag;
+    const int tag_panel = kTagStride * static_cast<int>(s) + kTagPanel;
+    const int kbc = static_cast<int>(kb) % pc;
+    const int kbr = static_cast<int>(kb) % pr;
+    if (gc == kbc && gr != kbr && column_has_blocks_below(fb, kb, gr, pr)) {
+      st.diag_req = comm_.irecv(map_.grid_rank(s, kbr, kbc), tag_diag);
+      st.expect_diag = true;
+    }
+    std::vector<index_t> needed;
+    for (index_t jb = kb + 1; jb < fb.nB; ++jb) {
+      if (static_cast<int>(jb) % pc != gc) continue;
+      for (index_t ib = jb; ib < fb.nB; ++ib) {
+        if (static_cast<int>(ib) % pr != gr) continue;
+        needed.push_back(ib);
+        needed.push_back(jb);
+      }
+    }
+    std::sort(needed.begin(), needed.end());
+    needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+    for (index_t x : needed) {
+      const int owner = block_owner(map_, s, x, kb);
+      if (owner == comm_.rank()) continue;
+      st.panel_reqs.emplace_back(x, comm_.irecv(owner, tag_panel));
+    }
+  }
+
+  /// Factors block column kb's diagonal at its owner, distributes it, and
+  /// TRSMs + broadcasts this rank's panel blocks — identical arithmetic and
+  /// per-link send order to the first half of factorize_blocking, with the
+  /// diagonal arriving through the preposted request.
+  void factor_column(index_t s, LocalFront& front, int pr, int pc, int gr,
+                     int gc, index_t kb, PanelState& st) {
+    const FrontBlocking& fb = front.blocking();
+    const int tag_diag = kTagStride * static_cast<int>(s) + kTagDiag;
+    const int tag_panel = kTagStride * static_cast<int>(s) + kTagPanel;
+    const int kbc = static_cast<int>(kb) % pc;
+    const int kbr = static_cast<int>(kb) % pr;
+    const index_t bk = fb.size(kb);
+    const bool ldlt = kind_ == FactorKind::kLdlt;
+
+    if (gr == kbr && gc == kbc) {
+      MatrixView dblk = front.block(kb, kb);
+      const index_t col0 = sym_.sn_start[s] + fb.start(kb);
+      PivotBoost* boost = pivot_.boost ? &boost_ : nullptr;
+      index_t info;
+      if (ldlt) {
+        info = ldlt_lower(dblk,
+                          d_.subspan(static_cast<std::size_t>(col0),
+                                     static_cast<std::size_t>(bk)),
+                          boost);
+        st.dk.assign(d_.begin() + col0, d_.begin() + col0 + bk);
+      } else {
+        info = potrf_lower(dblk, boost);
+      }
+      if (info != kNone) {
+        std::ostringstream os;
+        os << "bad pivot at column " << col0 + info
+           << " (postordered), supernode " << s << " (front order "
+           << sym_.front_order(s) << ", " << sym_.sn_cols(s)
+           << " columns), panel block " << kb << " on rank "
+           << comm_.rank();
+        throw StatusError(
+            Status::failure(StatusCode::kBreakdown, os.str(), s));
+      }
+      comm_.advance_compute(partial_cholesky_flops(bk, bk));
+      st.diag_buf.assign(dblk.data,
+                         dblk.data + static_cast<std::size_t>(bk) * bk);
+      if (ldlt) {
+        st.diag_buf.insert(st.diag_buf.end(), st.dk.begin(), st.dk.end());
+      }
+      for (int ri = 0; ri < pr; ++ri) {
+        if (ri == gr) continue;
+        if (!column_has_blocks_below(fb, kb, ri, pr)) continue;
+        comm_.send_vec(map_.grid_rank(s, ri, kbc), tag_diag, st.diag_buf);
+      }
+      st.l_kk = ConstMatrixView{st.diag_buf.data(), bk, bk, bk};
+    } else if (st.expect_diag) {
+      st.diag_buf = comm_.wait_vec<real_t>(st.diag_req);
+      st.l_kk = ConstMatrixView{st.diag_buf.data(), bk, bk, bk};
+      if (ldlt) {
+        st.dk.assign(st.diag_buf.begin() + static_cast<std::size_t>(bk) * bk,
+                     st.diag_buf.end());
+      }
+    }
+
+    if (gc == kbc) {
+      for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+        if (static_cast<int>(ib) % pr != gr) continue;
+        MatrixView blk = front.block(ib, kb);
+        trsm_right_lower_trans(st.l_kk, blk);
+        if (ldlt) {
+          // blk now holds M = A L⁻ᵀ = L·D; rescale to the stored L.
+          for (index_t k = 0; k < bk; ++k) {
+            const real_t inv = 1.0 / st.dk[k];
+            real_t* col = &blk.at(0, k);
+            for (index_t i = 0; i < blk.rows; ++i) col[i] *= inv;
+          }
+        }
+        comm_.advance_compute(static_cast<count_t>(blk.rows) * bk *
+                              (bk + 1));
+        std::vector<int> dests;
+        // A-side: ranks in grid row (ib % pr) owning (ib, jb), kb<jb<=ib.
+        for (int c = 0; c < pc; ++c) {
+          if (row_needs_block(kb, ib, c, pc)) {
+            dests.push_back(
+                map_.grid_rank(s, static_cast<int>(ib) % pr, c));
+          }
+        }
+        // B-side: ranks in grid column (ib % pc) owning (ib2, ib),
+        // ib <= ib2 < nB.
+        for (int rrow = 0; rrow < pr; ++rrow) {
+          if (col_needs_block(fb, ib, rrow, pr)) {
+            dests.push_back(
+                map_.grid_rank(s, rrow, static_cast<int>(ib) % pc));
+          }
+        }
+        std::sort(dests.begin(), dests.end());
+        dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+        std::vector<real_t> payload(
+            blk.data, blk.data + static_cast<std::size_t>(blk.rows) * bk);
+        if (ldlt) payload.insert(payload.end(), st.dk.begin(), st.dk.end());
+        for (int dst : dests) {
+          if (dst == comm_.rank()) continue;
+          comm_.send_vec(dst, tag_panel, payload);
+        }
+      }
+    }
+  }
+
+  /// Waits the preposted remote panel receives of block column kb (in
+  /// posting order — the sender's order) into st.remote.
+  void collect_panels(const FrontBlocking& fb, index_t kb, PanelState& st) {
+    const index_t bk = fb.size(kb);
+    const bool ldlt = kind_ == FactorKind::kLdlt;
+    for (auto& [x, req] : st.panel_reqs) {
+      std::vector<real_t> payload = comm_.wait_vec<real_t>(req);
+      if (ldlt) {
+        if (st.dk.empty()) {
+          st.dk.assign(payload.end() - bk, payload.end());
+        }
+        payload.resize(payload.size() - bk);
+      }
+      st.remote[x] = std::move(payload);
+    }
+    st.panel_reqs.clear();
+  }
+
+  /// Applies panel kb's trailing update to this rank's blocks in block
+  /// columns [jb_begin, jb_end) — the same per-block GEMM/SYRK calls, with
+  /// the same operands, as factorize_blocking's trailing loop.
+  void update_block_columns(index_t s, LocalFront& front, int pr, int pc,
+                            int gr, int gc, index_t kb, PanelState& st,
+                            index_t jb_begin, index_t jb_end) {
+    const FrontBlocking& fb = front.blocking();
+    const index_t bk = fb.size(kb);
+    const bool ldlt = kind_ == FactorKind::kLdlt;
+    auto panel_block = [&](index_t x) -> ConstMatrixView {
+      if (block_owner(map_, s, x, kb) == comm_.rank()) {
+        return front.block(x, kb);
+      }
+      const auto it = st.remote.find(x);
+      PARFACT_DCHECK(it != st.remote.end());
+      return {it->second.data(), fb.size(x), bk, fb.size(x)};
+    };
+    std::vector<real_t> scaled;
+    auto b_side = [&](index_t x) -> ConstMatrixView {
+      const ConstMatrixView l = panel_block(x);
+      if (!ldlt) return l;
+      scaled.resize(static_cast<std::size_t>(l.rows) * bk);
+      for (index_t k = 0; k < bk; ++k) {
+        const real_t dv = st.dk[k];
+        for (index_t i = 0; i < l.rows; ++i) {
+          scaled[static_cast<std::size_t>(k) * l.rows + i] =
+              l.at(i, k) * dv;
+        }
+      }
+      return {scaled.data(), l.rows, bk, l.rows};
+    };
+    for (index_t jb = jb_begin; jb < jb_end; ++jb) {
+      if (static_cast<int>(jb) % pc != gc) continue;
+      const index_t ib0 =
+          jb + (gr - static_cast<int>(jb) % pr + pr) % pr;
+      if (ib0 >= fb.nB) continue;
+      const ConstMatrixView bj = b_side(jb);
+      for (index_t ib = ib0; ib < fb.nB; ++ib) {
+        if (static_cast<int>(ib) % pr != gr) continue;
+        MatrixView c = front.block(ib, jb);
+        if (ib == jb && !ldlt) {
+          syrk_lower_update(c, panel_block(ib));
+        } else {
+          gemm_nt_update(c, panel_block(ib), bj);
+        }
+        comm_.advance_compute(2 * static_cast<count_t>(c.rows) * c.cols *
+                              bk);
+      }
+    }
+  }
+
+  /// Depth-1 panel-lookahead schedule. While every rank applies panel kb's
+  /// trailing updates, panel kb+1 is already factored and its blocks are in
+  /// flight. The trailing update is split into the *urgent* part (block
+  /// column kb+1 — the one factor_column(kb+1) is about to read) and the
+  /// *lazy* rest; per block, updates still apply in strictly ascending kb
+  /// with identical operands, so the factor is bitwise identical to the
+  /// blocking schedule's.
+  void factorize_lookahead(index_t s, LocalFront& front, int pr, int pc,
+                           int gr, int gc) {
+    const FrontBlocking& fb = front.blocking();
+    if (fb.kp == 0) return;
+    PanelState cur;
+    post_panel_receives(s, fb, pr, pc, gr, gc, 0, cur);
+    factor_column(s, front, pr, pc, gr, gc, 0, cur);
+    for (index_t kb = 0; kb < fb.kp; ++kb) {
+      collect_panels(fb, kb, cur);
+      update_block_columns(s, front, pr, pc, gr, gc, kb, cur, kb + 1,
+                           std::min<index_t>(kb + 2, fb.nB));
+      if (kb + 1 < fb.kp) {
+        PanelState next;
+        post_panel_receives(s, fb, pr, pc, gr, gc, kb + 1, next);
+        factor_column(s, front, pr, pc, gr, gc, kb + 1, next);
+        update_block_columns(s, front, pr, pc, gr, gc, kb, cur, kb + 2,
+                             fb.nB);
+        cur = std::move(next);
+      } else {
+        update_block_columns(s, front, pr, pc, gr, gc, kb, cur, kb + 2,
+                             fb.nB);
+      }
+    }
+  }
+
   /// True iff grid row `ri` owns any block (ib, kb) with ib > kb.
   static bool column_has_blocks_below(const FrontBlocking& fb, index_t kb,
                                       int ri, int pr) {
@@ -429,60 +743,68 @@ class RankProgram {
   }
 
   /// Pack the owned update-region entries by destination parent rank and
-  /// send one (possibly empty) message to every parent rank.
-  void send_update(index_t s, LocalFront& front) {
+  /// send one (possibly empty) message to every parent rank. Both formats
+  /// walk the canonical enumeration of extend_add.h; the packed one ships
+  /// the values alone and the receiver replays the enumeration.
+  void send_update(index_t s, LocalFront& front, int gr, int gc) {
     const index_t parent = sym_.sn_parent[s];
     if (parent == kNone) return;
-    const FrontBlocking& fb = front.blocking();
-    const index_t p = sym_.sn_cols(s);
-    const auto my_rows = sym_.below_rows(s);
-
-    // Parent-front local index of one of our below rows.
-    const index_t pfirst = sym_.sn_start[parent];
-    const index_t pblock_end = sym_.sn_start[parent + 1];
-    const index_t pp = sym_.sn_cols(parent);
-    const auto prows = sym_.below_rows(parent);
-    const FrontBlocking pfb =
-        FrontBlocking::make(pp, sym_.sn_below(parent), map_.block_size);
-    auto parent_local = [&](index_t global_row) -> index_t {
-      if (global_row < pblock_end) return global_row - pfirst;
-      const auto it =
-          std::lower_bound(prows.begin(), prows.end(), global_row);
-      PARFACT_DCHECK(it != prows.end() && *it == global_row);
-      return pp + static_cast<index_t>(it - prows.begin());
-    };
-
+    const ExtendAddPlan plan = make_extend_add_plan(sym_, map_, s);
     const int pbegin = map_.rank_begin[parent];
     const int pcount = map_.rank_count[parent];
-    std::vector<std::vector<EntryTriple>> outbox(
-        static_cast<std::size_t>(pcount));
-    for (index_t jb = fb.kp; jb < fb.nB; ++jb) {
-      for (index_t ib = jb; ib < fb.nB; ++ib) {
-        if (!front.owns(ib, jb)) continue;
-        const MatrixView blk = front.block(ib, jb);
-        const index_t r0 = fb.start(ib) - p;  // below-row index
-        const index_t c0 = fb.start(jb) - p;
-        for (index_t j = 0; j < blk.cols; ++j) {
-          const index_t pj = parent_local(my_rows[c0 + j]);
-          for (index_t i = (ib == jb) ? j : 0; i < blk.rows; ++i) {
-            const index_t pi = parent_local(my_rows[r0 + i]);
-            // The parent front stores lower storage in its own ordering;
-            // our (i, j) pair may map to either triangle there.
-            const index_t row = std::max(pi, pj);
-            const index_t col = std::min(pi, pj);
-            const int owner = block_owner(map_, parent, pfb.block_of(row),
-                                          pfb.block_of(col));
-            outbox[owner - pbegin].push_back(
-                EntryTriple{row, col, blk.at(i, j)});
-          }
-        }
-      }
-    }
     const int tag = kTagStride * static_cast<int>(parent) + kTagExtendAdd;
-    for (int d = 0; d < pcount; ++d) {
-      ckpt_.note_contribution(outbox[d].data(),
-                              outbox[d].size() * sizeof(EntryTriple));
-      comm_.send_vec(pbegin + d, tag, outbox[d]);
+
+    // Cache the current block view: the enumeration is contiguous per
+    // (ib, jb), so one lookup per block suffices.
+    index_t cur_ib = kNone, cur_jb = kNone;
+    MatrixView blk{};
+    const auto block_at = [&](index_t ib, index_t jb) -> const MatrixView& {
+      if (ib != cur_ib || jb != cur_jb) {
+        blk = front.block(ib, jb);
+        cur_ib = ib;
+        cur_jb = jb;
+      }
+      return blk;
+    };
+
+    if (config_.extend_add == DistConfig::ExtendAddFormat::kTriples) {
+      std::vector<std::vector<EntryTriple>> outbox(
+          static_cast<std::size_t>(pcount));
+      for_each_contribution(
+          plan, map_, gr, gc,
+          [&](index_t ib, index_t jb, index_t i, index_t j, index_t row,
+              index_t col, int owner) {
+            outbox[static_cast<std::size_t>(owner - pbegin)].push_back(
+                EntryTriple{row, col, block_at(ib, jb).at(i, j)});
+          });
+      for (int d = 0; d < pcount; ++d) {
+        const count_t bytes = static_cast<count_t>(outbox[d].size()) *
+                              static_cast<count_t>(sizeof(EntryTriple));
+        ckpt_.note_contribution(outbox[d].data(),
+                                static_cast<std::size_t>(bytes));
+        comm_.send_vec(pbegin + d, tag, outbox[d]);
+        ea_bytes_ += bytes;
+        ea_entries_ += static_cast<count_t>(outbox[d].size());
+      }
+    } else {
+      std::vector<std::vector<real_t>> outbox(
+          static_cast<std::size_t>(pcount));
+      for_each_contribution(
+          plan, map_, gr, gc,
+          [&](index_t ib, index_t jb, index_t i, index_t j, index_t,
+              index_t, int owner) {
+            outbox[static_cast<std::size_t>(owner - pbegin)].push_back(
+                block_at(ib, jb).at(i, j));
+          });
+      for (int d = 0; d < pcount; ++d) {
+        const count_t bytes = static_cast<count_t>(outbox[d].size()) *
+                              static_cast<count_t>(sizeof(real_t));
+        ckpt_.note_contribution(outbox[d].data(),
+                                static_cast<std::size_t>(bytes));
+        comm_.send_vec(pbegin + d, tag, outbox[d]);
+        ea_bytes_ += bytes;
+        ea_entries_ += static_cast<count_t>(outbox[d].size());
+      }
     }
   }
 
@@ -495,8 +817,11 @@ class RankProgram {
   PivotPolicy pivot_;
   PivotBoost boost_;  ///< per-rank static-pivoting counter
   BuddyCheckpointer ckpt_;
+  DistConfig config_;
   index_t start_supernode_;  ///< first front to execute (resume point)
   std::vector<std::vector<index_t>> children_;
+  count_t ea_bytes_ = 0;    ///< extend-add wire bytes sent by this rank
+  count_t ea_entries_ = 0;  ///< extend-add entries sent by this rank
 };
 
 }  // namespace
@@ -506,13 +831,16 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
                                     const mpsim::MachineModel& model,
                                     FactorKind kind, PivotPolicy pivot,
                                     const mpsim::FaultPlan& faults,
-                                    const ResiliencePolicy& resilience) {
+                                    const ResiliencePolicy& resilience,
+                                    const DistConfig& config) {
   validate_resilience_policy(resilience);
   pivot = resolve_pivot_policy(pivot, sym.a);
   DistFactorResult result(sym);
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = result.factor.allocate_diag();
   std::atomic<count_t> perturbations{0};
+  std::atomic<count_t> ea_bytes{0};
+  std::atomic<count_t> ea_entries{0};
   result.run =
       mpsim::run_spmd(map.n_ranks, model, faults, [&](mpsim::Comm& comm) {
         index_t start_supernode = 0;
@@ -531,13 +859,20 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
           base_perturbations = image.perturbations;
         }
         RankProgram program(sym, map, result.factor, comm, kind, d, pivot,
-                            resilience, start_supernode, base_perturbations);
+                            resilience, config, start_supernode,
+                            base_perturbations);
         program.run();
         perturbations.fetch_add(program.perturbations(),
                                 std::memory_order_relaxed);
+        ea_bytes.fetch_add(program.extend_add_bytes(),
+                           std::memory_order_relaxed);
+        ea_entries.fetch_add(program.extend_add_entries(),
+                             std::memory_order_relaxed);
       });
   result.status =
       Status::success(perturbations.load(std::memory_order_relaxed));
+  result.extend_add_bytes = ea_bytes.load(std::memory_order_relaxed);
+  result.extend_add_entries = ea_entries.load(std::memory_order_relaxed);
   return result;
 }
 
@@ -547,10 +882,11 @@ DistFactorResult distributed_factor_checked(const SymbolicFactor& sym,
                                             FactorKind kind,
                                             PivotPolicy pivot,
                                             const mpsim::FaultPlan& faults,
-                                            const ResiliencePolicy& resilience) {
+                                            const ResiliencePolicy& resilience,
+                                            const DistConfig& config) {
   try {
     return distributed_factor(sym, map, model, kind, pivot, faults,
-                              resilience);
+                              resilience, config);
   } catch (const StatusError& e) {
     DistFactorResult result(sym);
     result.status = e.status();

@@ -22,6 +22,7 @@
 #pragma once
 
 #include "dist/checkpoint.h"
+#include "dist/config.h"
 #include "dist/mapping.h"
 #include "mf/factor.h"
 #include "mf/multifrontal.h"
@@ -40,6 +41,11 @@ struct DistFactorResult {
   /// Outcome: kOk/kPerturbed (with the total pivot-perturbation count
   /// across all ranks), or the failure that stopped the run.
   Status status;
+  /// Extend-add traffic: wire bytes and entries shipped child → parent,
+  /// summed over all ranks (the ≥ 2x packed-vs-triples reduction of the
+  /// F8 ablation is measured on extend_add_bytes).
+  count_t extend_add_bytes = 0;
+  count_t extend_add_entries = 0;
 
   DistFactorResult(const SymbolicFactor& sym) : factor(sym) {}
 };
@@ -60,12 +66,18 @@ struct DistFactorResult {
 /// run, with `result.run.ranks_recovered` and
 /// `result.run.recovery_overhead_seconds` quantifying the recovery. A crash
 /// with no spare left ends in a diagnosed kRankFailure.
+///
+/// `config` selects the block-column schedule (blocking vs. depth-1 panel
+/// lookahead) and the extend-add wire format (triples vs. packed). All
+/// combinations produce the bitwise identical factor and perturbation
+/// count, under faults and crash recovery included; they differ only in
+/// virtual time and wire volume.
 [[nodiscard]] DistFactorResult distributed_factor(
     const SymbolicFactor& sym, const FrontMap& map,
     const mpsim::MachineModel& model = {},
     FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
     const mpsim::FaultPlan& faults = {},
-    const ResiliencePolicy& resilience = {});
+    const ResiliencePolicy& resilience = {}, const DistConfig& config = {});
 
 /// Non-throwing variant: failures land in `result.status` instead of
 /// propagating as exceptions.
@@ -74,6 +86,6 @@ struct DistFactorResult {
     const mpsim::MachineModel& model = {},
     FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
     const mpsim::FaultPlan& faults = {},
-    const ResiliencePolicy& resilience = {});
+    const ResiliencePolicy& resilience = {}, const DistConfig& config = {});
 
 }  // namespace parfact

@@ -1,0 +1,42 @@
+#include "dist/extend_add.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace parfact {
+
+ExtendAddPlan make_extend_add_plan(const SymbolicFactor& sym,
+                                   const FrontMap& map, index_t child) {
+  ExtendAddPlan plan;
+  plan.child = child;
+  plan.parent = sym.sn_parent[child];
+  PARFACT_CHECK(plan.parent != kNone);
+  plan.cfb = FrontBlocking::make(sym.sn_cols(child), sym.sn_below(child),
+                                 map.block_size);
+  plan.pfb = FrontBlocking::make(sym.sn_cols(plan.parent),
+                                 sym.sn_below(plan.parent), map.block_size);
+  plan.pr = map.grid_rows[child];
+  plan.pc = map.grid_cols[child];
+
+  const index_t pfirst = sym.sn_start[plan.parent];
+  const index_t pblock_end = sym.sn_start[plan.parent + 1];
+  const index_t pp = sym.sn_cols(plan.parent);
+  const auto prows = sym.below_rows(plan.parent);
+  const auto my_rows = sym.below_rows(child);
+  plan.parent_index.resize(my_rows.size());
+  for (std::size_t r = 0; r < my_rows.size(); ++r) {
+    const index_t global_row = my_rows[r];
+    if (global_row < pblock_end) {
+      plan.parent_index[r] = global_row - pfirst;
+    } else {
+      const auto it =
+          std::lower_bound(prows.begin(), prows.end(), global_row);
+      PARFACT_DCHECK(it != prows.end() && *it == global_row);
+      plan.parent_index[r] = pp + static_cast<index_t>(it - prows.begin());
+    }
+  }
+  return plan;
+}
+
+}  // namespace parfact

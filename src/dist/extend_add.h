@@ -1,0 +1,87 @@
+// Compact extend-add wire format: canonical enumeration of one child rank's
+// contribution entries to its parent front.
+//
+// Both endpoints of an extend-add message can derive, from the symbolic
+// structure alone, the exact sequence of (parent row, parent col) targets a
+// given child rank produces for a given parent rank. The packed wire format
+// exploits this: the message carries only the dense values, in canonical
+// order (8 bytes per entry instead of a 16-byte {row, col, value} triple),
+// and the receiver reconstructs the indices by replaying the sender's
+// enumeration. The "index header" of the format is therefore implicit —
+// it is the shared symbolic structure itself.
+//
+// Canonical order (must match LocalFront ownership and the sender loop in
+// dist_factor.cc): update-region blocks (ib, jb) of the child front with
+// jb ≥ kp, column-major over blocks owned by the sender's grid cell
+// (jb ascending, then ib ≥ jb ascending), within a block column-major
+// (j ascending, then i from the lower-triangle start).
+#pragma once
+
+#include "dist/front_blocks.h"
+#include "dist/mapping.h"
+#include "support/types.h"
+#include "symbolic/symbolic_factor.h"
+
+#include <utility>
+#include <vector>
+
+namespace parfact {
+
+/// Everything needed to enumerate child → parent contribution entries.
+struct ExtendAddPlan {
+  index_t child = kNone;
+  index_t parent = kNone;
+  FrontBlocking cfb;  ///< child front blocking
+  FrontBlocking pfb;  ///< parent front blocking
+  int pr = 1, pc = 1;  ///< child process grid
+  /// Parent-front-local index of each child below row (length sn_below).
+  std::vector<index_t> parent_index;
+};
+
+/// Builds the plan for `child` (which must have a parent).
+[[nodiscard]] ExtendAddPlan make_extend_add_plan(const SymbolicFactor& sym,
+                                                 const FrontMap& map,
+                                                 index_t child);
+
+/// Enumerates, in canonical order, every contribution entry produced by the
+/// child-grid cell (gr, gc): calls
+///   fn(ib, jb, i, j, row, col, owner)
+/// with (ib, jb) the child update block, (i, j) the within-block offsets,
+/// (row, col) the lower-triangle parent-front coordinates, and `owner` the
+/// parent rank owning that entry. Spectator cells (gr < 0) own nothing.
+template <typename Fn>
+void for_each_contribution(const ExtendAddPlan& plan, const FrontMap& map,
+                           int gr, int gc, Fn&& fn) {
+  if (gr < 0) return;
+  const FrontBlocking& fb = plan.cfb;
+  const index_t p = fb.p;
+  const int prow = map.grid_rows[plan.parent];
+  const int pcol = map.grid_cols[plan.parent];
+  for (index_t jb = fb.kp; jb < fb.nB; ++jb) {
+    if (static_cast<int>(jb) % plan.pc != gc) continue;
+    for (index_t ib = jb; ib < fb.nB; ++ib) {
+      if (static_cast<int>(ib) % plan.pr != gr) continue;
+      const index_t r0 = fb.start(ib) - p;  // below-row index
+      const index_t c0 = fb.start(jb) - p;
+      const index_t rows = fb.size(ib);
+      const index_t cols = fb.size(jb);
+      for (index_t j = 0; j < cols; ++j) {
+        const index_t pj = plan.parent_index[c0 + j];
+        for (index_t i = (ib == jb) ? j : 0; i < rows; ++i) {
+          const index_t pi = plan.parent_index[r0 + i];
+          // The parent front stores lower storage in its own ordering; the
+          // child's (i, j) pair may map to either triangle there.
+          const index_t row = std::max(pi, pj);
+          const index_t col = std::min(pi, pj);
+          const int owner = map.grid_rank(
+              plan.parent,
+              static_cast<int>(plan.pfb.block_of(row)) % prow,
+              static_cast<int>(plan.pfb.block_of(col)) % pcol);
+          fn(ib, jb, i, j, row, col, owner);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace parfact

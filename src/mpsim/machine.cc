@@ -191,6 +191,25 @@ class Machine {
 
   std::atomic<count_t> total_messages_{0};
   std::atomic<count_t> total_bytes_{0};
+  /// Messages delivered to a mailbox but not yet consumed by a receiver,
+  /// with the machine-wide high-water mark. Approximate under crash replay:
+  /// retained-log entries are consumed once per incarnation that reads
+  /// them, so the down-counter clamps at zero instead of going negative.
+  std::atomic<count_t> in_flight_{0};
+  std::atomic<count_t> max_in_flight_{0};
+
+  void note_delivered() {
+    const count_t now = in_flight_.fetch_add(1) + 1;
+    count_t prev = max_in_flight_.load();
+    while (now > prev && !max_in_flight_.compare_exchange_weak(prev, now)) {
+    }
+  }
+  void note_consumed() {
+    count_t prev = in_flight_.load();
+    while (prev > 0 && !in_flight_.compare_exchange_weak(prev, prev - 1)) {
+    }
+  }
+
   std::atomic<count_t> total_retransmits_{0};
   std::atomic<count_t> total_dropped_{0};
   std::atomic<count_t> checkpoints_stored_{0};
@@ -301,6 +320,7 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
       box.queues[{rank_, tag}].push_back(std::move(msg));
     }
     box.cv.notify_all();
+    machine_->note_delivered();
     if (!local) {
       machine_->total_messages_.fetch_add(1);
       machine_->total_bytes_.fetch_add(static_cast<count_t>(bytes));
@@ -340,6 +360,7 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
       box.queues[{rank_, tag}].push_back(std::move(msg));
     }
     box.cv.notify_all();
+    machine_->note_delivered();
     if (!local) {
       machine_->total_messages_.fetch_add(1);
       machine_->total_bytes_.fetch_add(static_cast<count_t>(wire.size()));
@@ -386,24 +407,48 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   }
 }
 
-std::vector<std::byte> Comm::recv(int source, int tag) {
+bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
+                         Staged* out) {
   PARFACT_CHECK(source >= 0 && source < machine_->n_);
   auto& box = machine_->boxes_[rank_];
   const auto key = std::make_pair(source, tag);
+  const FaultPlan& plan = machine_->plan_;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(plan.recv_timeout_host_seconds));
   if (!machine_->faults_) {
     std::unique_lock<std::mutex> lock(box.mu);
-    box.cv.wait(lock, [&] {
+    const auto have = [&] {
       if (machine_->aborted_.load()) return true;
       const auto it = box.queues.find(key);
       return it != box.queues.end() && !it->second.empty();
-    });
+    };
+    if (!blocking) {
+      if (!have()) return false;
+    } else if (bounded) {
+      if (!box.cv.wait_until(lock, deadline, have)) {
+        lock.unlock();
+        std::ostringstream os;
+        os << "mpsim: rank " << rank_ << " timed out after "
+           << plan.recv_timeout_host_seconds
+           << "s of host time waiting for (source " << source << ", tag "
+           << tag << ")";
+        throw StatusError(Status::failure(StatusCode::kCommTimeout,
+                                          os.str()));
+      }
+    } else {
+      box.cv.wait(lock, have);
+    }
     machine_->check_abort();
     auto& q = box.queues[key];
     Machine::Message msg = std::move(q.front());
     q.pop_front();
     lock.unlock();
-    clock_ = std::max(clock_, msg.arrival);
-    return std::move(msg.data);
+    machine_->note_consumed();
+    out->arrival = msg.arrival;
+    out->payload = std::move(msg.data);
+    return true;
   }
 
   // Fault path: strip the wire header, accept exactly the next expected
@@ -415,17 +460,12 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
   // that is dead but has a designated spare keeps us waiting: the
   // replacement will replay the stream, and the sequence check makes the
   // already-consumed prefix idempotent.
-  const FaultPlan& plan = machine_->plan_;
   const bool retain = machine_->retain_;
   std::uint64_t& expected = recv_seq_[key];
   std::size_t& cursor = consumed_[key];
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double>(plan.recv_timeout_host_seconds));
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
-    const bool ready = box.cv.wait_until(lock, deadline, [&] {
+    const auto pending = [&] {
       if (machine_->aborted_.load()) return true;
       if (machine_->retain_ &&
           machine_->rank_state(source) == Machine::kDeadUnrecoverable) {
@@ -434,8 +474,10 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
       const auto it = box.queues.find(key);
       if (it == box.queues.end()) return false;
       return retain ? cursor < it->second.size() : !it->second.empty();
-    });
-    if (!ready) {
+    };
+    if (!blocking) {
+      if (!pending()) return false;
+    } else if (!box.cv.wait_until(lock, deadline, pending)) {
       lock.unlock();
       std::ostringstream os;
       os << "mpsim: rank " << rank_ << " timed out after "
@@ -449,7 +491,10 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
     const bool have = retain ? cursor < q.size() : !q.empty();
     if (!have) {
       // Woken because the source crashed with no spare: whatever it sent
-      // before dying has been drained, and nothing more can ever come.
+      // before dying has been drained, and nothing more can ever come. A
+      // nonblocking probe reports "nothing pending"; the eventual wait
+      // (or recv) lands here blocking and raises the diagnosis.
+      if (!blocking) return false;
       lock.unlock();
       std::ostringstream os;
       os << "mpsim: rank " << rank_ << " was waiting for (source " << source
@@ -465,6 +510,7 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
       msg = std::move(q.front());
       q.pop_front();
     }
+    machine_->note_consumed();
     PARFACT_CHECK(msg.data.size() >= sizeof(WireHeader));
     WireHeader header;
     std::memcpy(&header, msg.data.data(), sizeof header);
@@ -477,16 +523,127 @@ std::vector<std::byte> Comm::recv(int source, int tag) {
     }
     ++expected;
     lock.unlock();
-    clock_ = std::max(clock_, msg.arrival);
+    out->arrival = msg.arrival;
+    out->payload.assign(msg.data.begin() + sizeof header, msg.data.end());
+    return true;
+  }
+}
+
+std::vector<std::byte> Comm::recv(int source, int tag) {
+  const auto it = channels_.find({source, tag});
+  PARFACT_CHECK_MSG(
+      it == channels_.end() ||
+          (it->second.posted == it->second.filled &&
+           it->second.staged.empty()),
+      "mpsim: blocking recv with irecvs outstanding on the same channel");
+  Staged st;
+  // Blocking recv keeps its historical contract: unbounded with faults
+  // inactive, bounded by the plan's host-time net otherwise.
+  fetch_message(source, tag, /*blocking=*/true, /*bounded=*/machine_->faults_,
+                &st);
+  idle_wait_ += std::max(0.0, st.arrival - clock_);
+  clock_ = std::max(clock_, st.arrival);
+  if (machine_->faults_) {
     apply_stalls();
     maybe_crash();
-    std::vector<std::byte> payload(msg.data.size() - sizeof header);
-    if (!payload.empty()) {
-      std::memcpy(payload.data(), msg.data.data() + sizeof header,
-                  payload.size());
-    }
-    return payload;
   }
+  return std::move(st.payload);
+}
+
+Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) {
+  send(dest, tag, data, bytes);
+  Request r;
+  r.kind_ = Request::Kind::kSend;
+  r.peer_ = dest;
+  r.tag_ = tag;
+  r.done_ = true;  // buffered semantics: in flight the moment send returns
+  r.active_ = true;
+  return r;
+}
+
+Request Comm::irecv(int source, int tag) {
+  PARFACT_CHECK(source >= 0 && source < machine_->n_);
+  Channel& ch = channels_[{source, tag}];
+  Request r;
+  r.kind_ = Request::Kind::kRecv;
+  r.peer_ = source;
+  r.tag_ = tag;
+  r.ticket_ = ch.posted++;
+  r.active_ = true;
+  ++pending_irecvs_;
+  return r;
+}
+
+bool Comm::fill_channel(Channel& ch, int source, int tag,
+                        std::uint64_t ticket, bool blocking) {
+  while (ch.filled <= ticket) {
+    Staged st;
+    if (!fetch_message(source, tag, blocking, /*bounded=*/true, &st)) {
+      return false;
+    }
+    ch.staged.emplace(ch.filled++, std::move(st));
+  }
+  return true;
+}
+
+void Comm::complete_recv(Request& r, Staged&& st, bool count_idle) {
+  if (count_idle) idle_wait_ += std::max(0.0, st.arrival - clock_);
+  clock_ = std::max(clock_, st.arrival);
+  r.arrival_ = st.arrival;
+  r.payload_ = std::move(st.payload);
+  r.done_ = true;
+  --pending_irecvs_;
+  apply_stalls();
+  maybe_crash();
+}
+
+bool Comm::test(Request& r) {
+  PARFACT_CHECK_MSG(r.active_, "mpsim: test on a default-constructed Request");
+  if (r.done_) return true;
+  Channel& ch = channels_[{r.peer_, r.tag_}];
+  auto it = ch.staged.find(r.ticket_);
+  if (it == ch.staged.end()) {
+    if (!fill_channel(ch, r.peer_, r.tag_, r.ticket_, /*blocking=*/false)) {
+      return false;
+    }
+    it = ch.staged.find(r.ticket_);
+    PARFACT_DCHECK(it != ch.staged.end());
+  }
+  // Virtual-time honesty: a rank cannot observe a message before its
+  // arrival time; test never advances the clock to make one observable.
+  if (it->second.arrival > clock_) return false;
+  Staged st = std::move(it->second);
+  ch.staged.erase(it);
+  complete_recv(r, std::move(st), /*count_idle=*/false);
+  return true;
+}
+
+std::vector<std::byte> Comm::wait(Request& r) {
+  PARFACT_CHECK_MSG(r.active_, "mpsim: wait on a default-constructed Request");
+  machine_->check_abort();
+  if (r.kind_ == Request::Kind::kSend) return {};
+  if (!r.done_) {
+    Channel& ch = channels_[{r.peer_, r.tag_}];
+    auto it = ch.staged.find(r.ticket_);
+    if (it == ch.staged.end()) {
+      const bool ok =
+          fill_channel(ch, r.peer_, r.tag_, r.ticket_, /*blocking=*/true);
+      PARFACT_CHECK(ok);
+      it = ch.staged.find(r.ticket_);
+      PARFACT_CHECK(it != ch.staged.end());
+    }
+    Staged st = std::move(it->second);
+    ch.staged.erase(it);
+    complete_recv(r, std::move(st), /*count_idle=*/true);
+  }
+  return std::move(r.payload_);
+}
+
+std::vector<std::vector<std::byte>> Comm::wait_all(std::vector<Request>& rs) {
+  std::vector<std::vector<std::byte>> out;
+  out.reserve(rs.size());
+  for (Request& r : rs) out.push_back(wait(r));
+  return out;
 }
 
 void Comm::barrier() {
@@ -649,6 +806,11 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
 
 void Comm::checkpoint_save(int buddy, std::vector<std::byte> blob) {
   PARFACT_CHECK(buddy >= 0 && buddy < machine_->n_);
+  // The protocol snapshot records sequence counters and log cursors, not
+  // posted-receive tickets: a checkpoint with receives still outstanding
+  // could not be resumed faithfully, so it is a caller bug.
+  PARFACT_CHECK_MSG(pending_irecvs_ == 0,
+                    "mpsim: checkpoint_save with irecvs outstanding");
   machine_->check_abort();
   const count_t bytes = static_cast<count_t>(blob.size());
   if (buddy != rank_) {
@@ -910,10 +1072,18 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
     const auto slot = static_cast<std::size_t>(c.rank_);
     stats.rank_time[slot] = std::max(stats.rank_time[slot], c.clock_);
     stats.rank_compute[slot] += c.compute_time_;
+    stats.idle_wait_seconds += c.idle_wait_;
     stats.rank_peak_bytes[slot] =
         std::max(stats.rank_peak_bytes[slot], c.mem_peak_);
   }
   for (double t : stats.rank_time) stats.makespan = std::max(stats.makespan, t);
+  double rank_seconds = 0.0;
+  for (double t : stats.rank_time) rank_seconds += t;
+  stats.overlap_efficiency =
+      rank_seconds > 0.0
+          ? std::max(0.0, 1.0 - stats.idle_wait_seconds / rank_seconds)
+          : 1.0;
+  stats.max_in_flight_messages = machine.max_in_flight_.load();
   stats.total_messages = machine.total_messages_.load();
   stats.total_bytes = machine.total_bytes_.load();
   stats.total_retransmits = machine.total_retransmits_.load();

@@ -46,6 +46,16 @@ struct RunStats {
   double makespan = 0.0;               ///< max final virtual clock
   std::vector<double> rank_time;       ///< final clock per rank
   std::vector<double> rank_compute;    ///< virtual seconds in compute per rank
+  /// Σ over ranks of virtual time spent blocked on point-to-point arrivals
+  /// (recv and Request::wait advancing the clock to a later arrival). The
+  /// overlap experiments report this: a lookahead schedule shrinks it.
+  double idle_wait_seconds = 0.0;
+  /// High-water mark of messages delivered but not yet consumed, machine
+  /// wide. Approximate under crash replay (retained logs re-deliver).
+  count_t max_in_flight_messages = 0;
+  /// 1 − idle_wait / Σ rank_time: fraction of rank-seconds not spent
+  /// blocked on message arrival (1.0 when there is no communication).
+  double overlap_efficiency = 1.0;
   count_t total_messages = 0;
   count_t total_bytes = 0;
   std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
@@ -129,6 +139,35 @@ struct FaultPlan {
 class Machine;
 class Comm;
 
+/// Handle to a nonblocking operation (isend/irecv). Complete it with
+/// Comm::test / Comm::wait / Comm::wait_all on the Comm that issued it.
+/// Requests are movable, not copyable, and must not outlive their Comm.
+class Request {
+ public:
+  Request() = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+
+  /// True once the operation completed (send requests start complete —
+  /// sends are buffered; a completed recv request holds its payload until
+  /// wait() is called to take it).
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  friend class Comm;
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  Kind kind_ = Kind::kSend;
+  int peer_ = -1;
+  int tag_ = 0;
+  std::uint64_t ticket_ = 0;  ///< FIFO position among irecvs on the channel
+  bool done_ = false;
+  bool active_ = false;       ///< issued by a Comm (default-constructed: no)
+  double arrival_ = 0.0;
+  std::vector<std::byte> payload_;
+};
+
 /// Runs `rank_fn` as an SPMD program on `n_ranks` virtual ranks (one host
 /// thread each) and returns the run statistics. Rank program exceptions are
 /// rethrown (first one wins) after all threads have been joined.
@@ -175,7 +214,45 @@ class Comm {
   void send(int dest, int tag, const void* data, std::size_t bytes);
 
   /// Blocking receive matching (source, tag), FIFO among identical pairs.
+  /// Must not be called while irecvs are outstanding on the same channel
+  /// (the FIFO position would be ambiguous).
   [[nodiscard]] std::vector<std::byte> recv(int source, int tag);
+
+  /// Nonblocking send. mpsim sends are buffered — the sender-side cost is
+  /// paid immediately and the message is in flight when this returns — so
+  /// the request completes instantly; it exists so call sites can express
+  /// intent symmetrically with irecv.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Posts a receive for the next unclaimed message on (source, tag).
+  /// Multiple outstanding irecvs on one channel match arrivals in posting
+  /// order (FIFO), regardless of the order they are waited on.
+  [[nodiscard]] Request irecv(int source, int tag);
+
+  /// Nonblocking completion probe. A recv request completes here only if a
+  /// matching message exists AND its virtual arrival time is ≤ this rank's
+  /// clock — the rank cannot observe a message "before it arrives". Never
+  /// advances the clock. Returns r.done().
+  bool test(Request& r);
+
+  /// Blocks until the request completes and returns its payload (empty for
+  /// send requests). Advances the clock to max(clock, arrival) and accounts
+  /// the jump as idle wait. Unlike blocking recv, wait is always bounded by
+  /// FaultPlan::recv_timeout_host_seconds of host time — a lost nonblocking
+  /// message diagnoses kCommTimeout instead of hanging the harness (the
+  /// default plan's 30 s net applies even with faults inactive).
+  [[nodiscard]] std::vector<std::byte> wait(Request& r);
+
+  /// wait() over a batch, in order; returns the payloads.
+  [[nodiscard]] std::vector<std::vector<std::byte>> wait_all(
+      std::vector<Request>& rs);
+
+  /// Typed wait: payload reinterpreted as a vector of T (like recv_vec).
+  template <typename T>
+  [[nodiscard]] std::vector<T> wait_vec(Request& r) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return bytes_to_vec<T>(wait(r), r.peer_, r.tag_);
+  }
 
   /// Typed helpers for vectors of trivially copyable T.
   template <typename T>
@@ -186,18 +263,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> recv_vec(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> raw = recv(source, tag);
-    if (raw.size() % sizeof(T) != 0) {
-      std::ostringstream os;
-      os << "mpsim: rank " << rank_ << " received " << raw.size()
-         << " bytes from (source " << source << ", tag " << tag
-         << "), not a multiple of the element size " << sizeof(T);
-      throw StatusError(Status::failure(StatusCode::kDataCorruption,
-                                        os.str()));
-    }
-    std::vector<T> v(raw.size() / sizeof(T));
-    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
-    return v;
+    return bytes_to_vec<T>(recv(source, tag), source, tag);
   }
 
   /// Collectives over all base ranks (every base rank must call; standby
@@ -256,10 +322,56 @@ class Comm {
   /// Advances the clock and triggers stall/crash windows it crosses.
   void tick(double seconds);
 
+  template <typename T>
+  [[nodiscard]] std::vector<T> bytes_to_vec(std::vector<std::byte> raw,
+                                            int source, int tag) const {
+    if (raw.size() % sizeof(T) != 0) {
+      std::ostringstream os;
+      os << "mpsim: rank " << rank_ << " received " << raw.size()
+         << " bytes from (source " << source << ", tag " << tag
+         << "), not a multiple of the element size " << sizeof(T);
+      throw StatusError(Status::failure(StatusCode::kDataCorruption,
+                                        os.str()));
+    }
+    std::vector<T> v(raw.size() / sizeof(T));
+    if (!raw.empty()) std::memcpy(v.data(), raw.data(), raw.size());
+    return v;
+  }
+
+  /// One message staged for a posted irecv, keyed by ticket.
+  struct Staged {
+    double arrival = 0.0;
+    std::vector<std::byte> payload;
+  };
+  /// Per-(source, tag) irecv bookkeeping: tickets issued, messages pulled
+  /// from the mailbox so far, and pulled-but-not-yet-waited messages.
+  struct Channel {
+    std::uint64_t posted = 0;
+    std::uint64_t filled = 0;
+    std::map<std::uint64_t, Staged> staged;
+  };
+
+  /// Pulls the next unconsumed message on (source, tag) out of the mailbox,
+  /// running the fault-protocol logic (dedup, retention cursor, dead-rank
+  /// diagnosis). Returns false when `blocking` is false and nothing is
+  /// pending; throws kCommTimeout when `bounded` and the host-time net
+  /// expires. Does not touch the virtual clock.
+  bool fetch_message(int source, int tag, bool blocking, bool bounded,
+                     Staged* out);
+  /// Pulls messages into `ch.staged` until `ticket` is staged (blocking) or
+  /// the mailbox runs dry (nonblocking). Returns whether it is staged.
+  bool fill_channel(Channel& ch, int source, int tag, std::uint64_t ticket,
+                    bool blocking);
+  /// Completes a recv request whose message is staged: clock/idle/payload.
+  void complete_recv(Request& r, Staged&& st, bool count_idle);
+
   Machine* machine_;
   int rank_;
   double clock_ = 0.0;
   double compute_time_ = 0.0;
+  double idle_wait_ = 0.0;  ///< virtual seconds blocked on p2p arrivals
+  std::map<std::pair<int, int>, Channel> channels_;
+  count_t pending_irecvs_ = 0;
   count_t mem_live_ = 0;
   count_t mem_peak_ = 0;
   /// Virtual time at which this incarnation dies. run_spmd sets it (to the

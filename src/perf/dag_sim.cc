@@ -13,6 +13,7 @@ namespace {
 struct Clocks {
   std::vector<double> t;        // virtual clock
   std::vector<double> compute;  // accumulated compute seconds
+  std::vector<double> idle;     // seconds stalled on message arrival
   std::vector<count_t> live;    // live bytes
   std::vector<count_t> peak;
   std::vector<count_t> factor_bytes;
@@ -22,6 +23,7 @@ struct Clocks {
   explicit Clocks(int p)
       : t(static_cast<std::size_t>(p), 0.0),
         compute(static_cast<std::size_t>(p), 0.0),
+        idle(static_cast<std::size_t>(p), 0.0),
         live(static_cast<std::size_t>(p), 0),
         peak(static_cast<std::size_t>(p), 0),
         factor_bytes(static_cast<std::size_t>(p), 0) {}
@@ -34,14 +36,32 @@ struct Clocks {
     live[r] += b;
     peak[r] = std::max(peak[r], live[r]);
   }
+  /// Pushes rank r's clock to `floor`, accounting the jump as idle wait.
+  void stall_until(int r, double floor) {
+    if (floor > t[r]) {
+      idle[r] += floor - t[r];
+      t[r] = floor;
+    }
+  }
   /// Point-to-point message: sender pays alpha, receiver clock is pushed to
-  /// the arrival time.
+  /// the arrival time (an immediate, blocking-style stall).
   void msg(int src, int dst, double byte_count,
            const mpsim::MachineModel& m) {
     if (src == dst) return;
     const double arrival = t[src] + m.alpha + byte_count * m.beta;
     t[src] += m.alpha;
-    t[dst] = std::max(t[dst], arrival);
+    stall_until(dst, arrival);
+    ++messages;
+    bytes += static_cast<count_t>(byte_count);
+  }
+  /// As msg(), but the receiver is not stalled now: the arrival lands in
+  /// `floor` to be applied at the consumer's next synchronization point —
+  /// the lookahead replay's way of overlapping transfer with compute.
+  void msg_deferred(int src, double byte_count, const mpsim::MachineModel& m,
+                    double* floor) {
+    const double arrival = t[src] + m.alpha + byte_count * m.beta;
+    t[src] += m.alpha;
+    *floor = std::max(*floor, arrival);
     ++messages;
     bytes += static_cast<count_t>(byte_count);
   }
@@ -71,9 +91,20 @@ bool grid_row_owns_below(const FrontBlocking& fb, index_t kb, int ri,
 
 PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
                                 const mpsim::MachineModel& model) {
+  return simulate_factor_time(sym, map, model, DistConfig{});
+}
+
+PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
+                                const mpsim::MachineModel& model,
+                                const DistConfig& config) {
   const int p = map.n_ranks;
   Clocks clk(p);
   const index_t ns = sym.n_supernodes;
+  const bool lookahead = config.schedule == DistConfig::Schedule::kLookahead;
+  // Wire + staging bytes per extend-add entry: {row, col, value} triple or
+  // packed dense value (the index header is implicit; see extend_add.h).
+  const double ea_entry_bytes =
+      config.extend_add == DistConfig::ExtendAddFormat::kPacked ? 8.0 : 16.0;
 
   // Per-rank clock stamp at the moment each front finished (its update
   // contributions depart then), plus the update-region byte volume.
@@ -130,7 +161,7 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
       while ((1 << merge_rounds) < np + cnp) ++merge_rounds;
       const bool local = np == 1 && cnp == 1;  // same rank: plain memcpy
       const double share_bytes =
-          static_cast<double>(update_entries[c]) * 16.0 / np;
+          static_cast<double>(update_entries[c]) * ea_entry_bytes / np;
       double latest_send = 0.0;
       for (int src = 0; src < cnp; ++src) {
         latest_send = std::max(latest_send, finish[c][src]);
@@ -139,7 +170,7 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
         if (src < map.grid_size(c)) {
           clk.live[cr0 + src] -= static_cast<count_t>(
               static_cast<double>(update_entries[c]) / map.grid_size(c) *
-              16.0);
+              ea_entry_bytes);
         }
       }
       if (!local) {
@@ -147,20 +178,24 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
                                                  (model.alpha +
                                                   share_bytes * model.beta);
         for (int dst = 0; dst < np; ++dst) {
-          clk.t[r0 + dst] = std::max(clk.t[r0 + dst], arrival);
+          clk.stall_until(r0 + dst, arrival);
           clk.t[r0 + dst] += share_bytes * cnp / np / model.mem_rate +
                              share_bytes / model.mem_rate;
         }
         clk.messages += static_cast<count_t>(merge_rounds) * (cnp + np);
-        clk.bytes += static_cast<count_t>(
-            static_cast<double>(update_entries[c]) * 16.0 * merge_rounds);
+        clk.bytes += static_cast<count_t>(static_cast<double>(
+            update_entries[c]) * ea_entry_bytes * merge_rounds);
       } else {
         clk.t[r0] += share_bytes / model.mem_rate;
       }
     }
 
-    // Block factorization sweep.
-    for (index_t kb = 0; kb < fb.kp; ++kb) {
+    // Block factorization sweep. Shared pieces: factor_col charges the
+    // diagonal factorization + broadcast (an immediate dependency — TRSM
+    // consumes it in place) and the TRSMs + panel broadcasts; the panel
+    // messages stall receivers immediately (blocking) or land in an
+    // arrival-floor vector applied at the next consume point (lookahead).
+    auto factor_col = [&](index_t kb, std::vector<double>* floors) {
       const int kbr = static_cast<int>(kb) % pr;
       const int kbc = static_cast<int>(kb) % pc;
       const index_t bk = fb.size(kb);
@@ -185,23 +220,61 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
           const int dst = r0 + c * pr + static_cast<int>(ib) % pr;
           // Only if that rank owns a trailing block needing this (approx:
           // it does whenever the trailing region is non-trivial).
-          if (dst != src) clk.msg(src, dst, blk_bytes, model);
+          if (dst == src) continue;
+          if (floors) {
+            clk.msg_deferred(src, blk_bytes, model, &(*floors)[dst - r0]);
+          } else {
+            clk.msg(src, dst, blk_bytes, model);
+          }
         }
         for (int rrow = 0; rrow < pr; ++rrow) {
           const int dst = r0 + (static_cast<int>(ib) % pc) * pr + rrow;
           if (dst != src && rrow != static_cast<int>(ib) % pr) {
-            clk.msg(src, dst, blk_bytes, model);
+            if (floors) {
+              clk.msg_deferred(src, blk_bytes, model, &(*floors)[dst - r0]);
+            } else {
+              clk.msg(src, dst, blk_bytes, model);
+            }
           }
         }
       }
-      // Trailing updates: each rank's owned (ib, jb), jb > kb, ib >= jb.
-      for (index_t jb = kb + 1; jb < fb.nB; ++jb) {
+    };
+    // Trailing-update work of panel kb restricted to block columns
+    // [jb_begin, jb_end): each rank's owned (ib, jb), ib >= jb.
+    auto update_cols = [&](index_t kb, index_t jb_begin, index_t jb_end) {
+      const index_t bk = fb.size(kb);
+      for (index_t jb = jb_begin; jb < jb_end; ++jb) {
         for (index_t ib = jb; ib < fb.nB; ++ib) {
           const int owner = r0 + (static_cast<int>(jb) % pc) * pr +
                             static_cast<int>(ib) % pr;
           clk.work(owner,
                    2.0 * fb.size(ib) * fb.size(jb) * bk, model.flop_rate);
         }
+      }
+    };
+
+    if (!lookahead) {
+      for (index_t kb = 0; kb < fb.kp; ++kb) {
+        factor_col(kb, nullptr);
+        update_cols(kb, kb + 1, fb.nB);
+      }
+    } else if (fb.kp > 0) {
+      // Depth-1 lookahead replay: panel kb+1 is factored and its blocks
+      // put in flight right after the urgent update, so the transfer
+      // overlaps panel kb's lazy updates; consumers only stall on what has
+      // not yet arrived when they reach the next panel.
+      std::vector<double> cur_arr(static_cast<std::size_t>(used), 0.0);
+      std::vector<double> next_arr(static_cast<std::size_t>(used), 0.0);
+      factor_col(0, &cur_arr);
+      for (index_t kb = 0; kb < fb.kp; ++kb) {
+        for (int lr = 0; lr < used; ++lr) {
+          clk.stall_until(r0 + lr, cur_arr[static_cast<std::size_t>(lr)]);
+          cur_arr[static_cast<std::size_t>(lr)] = 0.0;
+        }
+        update_cols(kb, kb + 1, std::min<index_t>(kb + 2, fb.nB));
+        if (kb + 1 < fb.kp) factor_col(kb + 1, &next_arr);
+        update_cols(kb, kb + 2, fb.nB);
+        std::swap(cur_arr, next_arr);
       }
     }
 
@@ -225,26 +298,34 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
           }
         }
         clk.factor_bytes[r0 + lr] += panel;
-        // Free the front, keep the update entries as 16-byte triples.
+        // Free the front, keep the update entries in wire format until the
+        // parent consumes them.
         clk.live[r0 + lr] -= local;
         clk.mem(r0 + lr,
                 static_cast<count_t>(static_cast<double>(update_entries[s]) /
-                                     used * 16.0));
+                                     used * ea_entry_bytes));
       }
       finish[s][lr] = clk.t[r0 + lr];
     }
   }
 
   PerfResult result;
+  double rank_seconds = 0.0;
   for (int r = 0; r < p; ++r) {
     result.makespan = std::max(result.makespan, clk.t[r]);
     result.compute_total += clk.compute[r];
     result.compute_max = std::max(result.compute_max, clk.compute[r]);
+    result.idle_wait_seconds += clk.idle[r];
+    rank_seconds += clk.t[r];
     result.peak_rank_bytes =
         std::max(result.peak_rank_bytes, clk.peak[r] + clk.factor_bytes[r]);
     result.factor_bytes_max =
         std::max(result.factor_bytes_max, clk.factor_bytes[r]);
   }
+  result.overlap_efficiency =
+      rank_seconds > 0.0
+          ? std::max(0.0, 1.0 - result.idle_wait_seconds / rank_seconds)
+          : 1.0;
   result.total_messages = clk.messages;
   result.total_bytes = clk.bytes;
   return result;

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "dist/config.h"
 #include "dist/mapping.h"
 #include "mpsim/machine.h"
 #include "symbolic/symbolic_factor.h"
@@ -23,6 +24,8 @@ struct PerfResult {
   double makespan = 0.0;          ///< simulated seconds
   double compute_total = 0.0;     ///< sum of per-rank compute seconds
   double compute_max = 0.0;       ///< busiest rank's compute seconds
+  double idle_wait_seconds = 0.0; ///< Σ over ranks of arrival-stall seconds
+  double overlap_efficiency = 1.0;///< 1 − idle / Σ rank seconds
   count_t total_messages = 0;
   count_t total_bytes = 0;
   count_t peak_rank_bytes = 0;    ///< max over ranks of peak live bytes
@@ -35,7 +38,19 @@ struct PerfResult {
   }
 };
 
-/// Replays the distributed factorization schedule of `map`.
+/// Replays the distributed factorization schedule of `map` under `config`:
+/// the blocking replay stalls every panel consumer at broadcast time, the
+/// lookahead replay defers panel arrivals to the next iteration's consume
+/// point (transfer overlaps the previous panel's lazy updates), mirroring
+/// dist_factor's two schedules; the extend-add byte volume follows the wire
+/// format (16 B/entry triples vs 8 B/entry packed).
+[[nodiscard]] PerfResult simulate_factor_time(const SymbolicFactor& sym,
+                                              const FrontMap& map,
+                                              const mpsim::MachineModel& model,
+                                              const DistConfig& config);
+
+/// Convenience overload replaying the default DistConfig (lookahead +
+/// packed — what distributed_factor runs by default).
 [[nodiscard]] PerfResult simulate_factor_time(const SymbolicFactor& sym,
                                               const FrontMap& map,
                                               const mpsim::MachineModel& model);

@@ -225,5 +225,148 @@ TEST(DistFactor, NotSpdFailsCleanly) {
   EXPECT_THROW(distributed_factor(sym, map), Error);
 }
 
+// --- Schedule / wire-format ablation: bitwise identity ----------------------
+//
+// The depth-1 panel lookahead and the packed extend-add format are pure
+// communication optimizations: every (schedule, format) combination must
+// produce the bitwise identical factor — and perturbation count — as the
+// blocking/triples engine, clean, under message faults, and through a
+// crash recovery.
+
+void expect_factors_bitwise_equal(const SymbolicFactor& sym,
+                                  const CholeskyFactor& a,
+                                  const CholeskyFactor& b) {
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const ConstMatrixView pa = a.panel(s);
+    const ConstMatrixView pb = b.panel(s);
+    for (index_t j = 0; j < pa.cols; ++j) {
+      for (index_t i = j; i < pa.rows; ++i) {
+        ASSERT_EQ(pa.at(i, j), pb.at(i, j))
+            << "supernode " << s << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+constexpr DistConfig kBlockingTriples{DistConfig::Schedule::kBlocking,
+                                      DistConfig::ExtendAddFormat::kTriples};
+constexpr DistConfig kBlockingPacked{DistConfig::Schedule::kBlocking,
+                                     DistConfig::ExtendAddFormat::kPacked};
+constexpr DistConfig kLookaheadTriples{DistConfig::Schedule::kLookahead,
+                                       DistConfig::ExtendAddFormat::kTriples};
+constexpr DistConfig kLookaheadPacked{DistConfig::Schedule::kLookahead,
+                                      DistConfig::ExtendAddFormat::kPacked};
+constexpr DistConfig kAllConfigs[] = {kBlockingTriples, kBlockingPacked,
+                                      kLookaheadTriples, kLookaheadPacked};
+
+class ScheduleIdentityP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleIdentityP, AllConfigsBitwiseIdenticalAndPackedHalvesBytes) {
+  const int p = GetParam();
+  const SparseMatrix a = grid_laplacian_2d(13, 12, 5);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  const DistFactorResult base = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(base.status.ok());
+  for (const DistConfig& config : kAllConfigs) {
+    const DistFactorResult r = distributed_factor(
+        sym, map, {}, FactorKind::kCholesky, {}, {}, {}, config);
+    ASSERT_TRUE(r.status.ok());
+    expect_factors_bitwise_equal(sym, base.factor, r.factor);
+    // Same entries cross the wire in every format.
+    EXPECT_EQ(r.extend_add_entries, base.extend_add_entries);
+    if (config.extend_add == DistConfig::ExtendAddFormat::kPacked) {
+      EXPECT_LE(2 * r.extend_add_bytes, base.extend_add_bytes);
+    } else {
+      EXPECT_EQ(r.extend_add_bytes, base.extend_add_bytes);
+    }
+  }
+}
+
+TEST_P(ScheduleIdentityP, LookaheadHealsFaultsBitwiseIdentical) {
+  const int p = GetParam();
+  const SparseMatrix a = grid_laplacian_2d(13, 12, 5);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  const DistFactorResult clean = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(clean.status.ok());
+  mpsim::FaultPlan faults;
+  faults.seed = 4242 + static_cast<std::uint64_t>(p);
+  faults.drop_rate = 0.05;
+  faults.delay_rate = 0.05;
+  faults.duplicate_rate = 0.02;
+  for (const DistConfig& config : {kBlockingTriples, kLookaheadPacked}) {
+    const DistFactorResult faulty = distributed_factor(
+        sym, map, {}, FactorKind::kCholesky, {}, faults, {}, config);
+    ASSERT_TRUE(faulty.status.ok()) << faulty.status.to_string();
+    expect_factors_bitwise_equal(sym, clean.factor, faulty.factor);
+  }
+}
+
+TEST(ScheduleIdentity, LdltPerturbationCountsIdenticalAcrossConfigs) {
+  const index_t kDecoupled = 3;
+  const SparseMatrix a =
+      append_decoupled_rows(grid_laplacian_2d(9, 8, 5), kDecoupled, 1e-30);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, 4, MappingStrategy::kSubtree2d, 8, 1e3);
+  PivotPolicy boosted;
+  boosted.boost = true;
+  const DistFactorResult base = distributed_factor(
+      sym, map, {}, FactorKind::kLdlt, boosted, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(base.status.ok());
+  EXPECT_EQ(base.status.perturbations, kDecoupled);
+  for (const DistConfig& config : kAllConfigs) {
+    const DistFactorResult r = distributed_factor(
+        sym, map, {}, FactorKind::kLdlt, boosted, {}, {}, config);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.status.perturbations, kDecoupled);
+    expect_factors_bitwise_equal(sym, base.factor, r.factor);
+  }
+}
+
+TEST(ScheduleIdentity, LookaheadRecoversFromCrashBitwiseIdentical) {
+  const int p = 4;
+  const SparseMatrix a = grid_laplacian_2d(9, 8, 5);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  ResiliencePolicy resilience;
+  resilience.buddy_checkpoint = true;
+  resilience.checkpoint_interval = 4;
+
+  const DistFactorResult clean = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(clean.status.ok());
+
+  // Probe the resilient lookahead run for the victim's busy time, then
+  // crash it mid-execution with one spare standing by.
+  const int victim = p / 2;
+  const DistFactorResult probe =
+      distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, {},
+                         resilience, kLookaheadPacked);
+  ASSERT_TRUE(probe.status.ok());
+  const double at =
+      0.5 * probe.run.rank_time[static_cast<std::size_t>(victim)];
+  ASSERT_GT(at, 0.0);
+  mpsim::FaultPlan faults;
+  faults.crashes.push_back({victim, at});
+  faults.spare_ranks = 1;
+
+  const DistFactorResult crashed =
+      distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, faults,
+                         resilience, kLookaheadPacked);
+  ASSERT_TRUE(crashed.status.ok()) << crashed.status.to_string();
+  EXPECT_EQ(crashed.run.ranks_recovered, 1);
+  expect_factors_bitwise_equal(sym, clean.factor, crashed.factor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, ScheduleIdentityP,
+                         ::testing::Values(2, 4, 8));
+
 }  // namespace
 }  // namespace parfact

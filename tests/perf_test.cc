@@ -131,6 +131,43 @@ TEST(Perf, SolveTimeScalesAndIsCheaperThanFactor) {
   EXPECT_GT(s16.makespan, s1.makespan);
 }
 
+TEST(Perf, LookaheadBeatsBlockingAtScale) {
+  const SparseMatrix a = grid_laplacian_3d(14, 14, 14, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  constexpr DistConfig blocking{DistConfig::Schedule::kBlocking,
+                                DistConfig::ExtendAddFormat::kTriples};
+  constexpr DistConfig look{DistConfig::Schedule::kLookahead,
+                            DistConfig::ExtendAddFormat::kPacked};
+  bool any_win = false;
+  for (int p : {16, 64, 256}) {
+    const FrontMap map = build_front_map(sym, p, MappingStrategy::kSubtree2d);
+    const PerfResult b = simulate_factor_time(sym, map, model, blocking);
+    const PerfResult l = simulate_factor_time(sym, map, model, look);
+    // Overlap can only help: the lookahead replay never stalls earlier than
+    // the blocking one.
+    EXPECT_LE(l.makespan, b.makespan * (1.0 + 1e-9)) << "p=" << p;
+    EXPECT_LE(l.idle_wait_seconds, b.idle_wait_seconds + 1e-12) << "p=" << p;
+    if (l.makespan < b.makespan) any_win = true;
+  }
+  EXPECT_TRUE(any_win) << "lookahead never beat blocking at any P";
+}
+
+TEST(Perf, OverlapStatsAreConsistent) {
+  const SparseMatrix a = grid_laplacian_3d(12, 12, 12, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map = build_front_map(sym, 64, MappingStrategy::kSubtree2d);
+  const PerfResult r = simulate_factor_time(sym, map, {});
+  EXPECT_GT(r.idle_wait_seconds, 0.0);  // 64 ranks cannot avoid all stalls
+  EXPECT_GE(r.overlap_efficiency, 0.0);
+  EXPECT_LE(r.overlap_efficiency, 1.0);
+  // Serial run: nothing to wait for.
+  const FrontMap m1 = build_front_map(sym, 1, MappingStrategy::kSubtree2d);
+  const PerfResult s = simulate_factor_time(sym, m1, {});
+  EXPECT_EQ(s.idle_wait_seconds, 0.0);
+  EXPECT_EQ(s.overlap_efficiency, 1.0);
+}
+
 TEST(Perf, SolveTimeTracksMpsim) {
   const SparseMatrix a = grid_laplacian_3d(8, 8, 8, 7);
   const SymbolicFactor sym = analyze_nested_dissection(a);
