@@ -19,17 +19,31 @@ namespace parfact {
 
 Solver::Solver(SolverOptions options) : options_(std::move(options)) {
   PARFACT_CHECK(options_.threads >= 1);
+  PARFACT_CHECK(options_.solve_rhs_block >= 1);
 }
 
 Solver::~Solver() = default;
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
 
+ThreadPool* Solver::solve_pool() const {
+  if (options_.threads <= 1) return nullptr;
+  if (!solve_pool_) solve_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  return solve_pool_.get();
+}
+
+void Solver::build_solve_schedule() {
+  SolveScheduleOptions opts;
+  opts.rhs_block = options_.solve_rhs_block;
+  solve_schedule_ = std::make_unique<SolveSchedule>(*sym_, opts);
+}
+
 void Solver::analyze(const SparseMatrix& lower) {
   WallTimer timer;
   PARFACT_CHECK(lower.rows == lower.cols);
   original_lower_ = lower;
   factor_.reset();
+  solve_schedule_.reset();
 
   // Fill-reducing permutation (new -> old).
   std::vector<index_t> fill_perm;
@@ -91,6 +105,7 @@ Status Solver::factorize() {
     factor_.emplace(
         multifrontal_factor(*sym_, &stats, options_.factor_kind, pivot));
   }
+  build_solve_schedule();
   report_.factor_seconds = stats.seconds;
   report_.peak_update_bytes = stats.peak_update_bytes;
   report_.pivot_perturbations = stats.pivot_perturbations;
@@ -119,29 +134,25 @@ Status Solver::factorize_distributed(int n_ranks,
   report_.max_in_flight_messages = result.run.max_in_flight_messages;
   if (result.status.failed()) {
     factor_.reset();
+    solve_schedule_.reset();
     return result.status;
   }
   factor_.emplace(std::move(result.factor));
+  build_solve_schedule();
   report_.factor_seconds = timer.seconds();
   report_.pivot_perturbations = result.status.perturbations;
   return result.status;
 }
 
 std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
-  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
-  const index_t n = sym_->n;
-  PARFACT_CHECK(static_cast<index_t>(b.size()) == n);
-  std::vector<real_t> pb(static_cast<std::size_t>(n));
-  for (index_t k = 0; k < n; ++k) pb[k] = b[total_perm_[k]];
-  solve_in_place(*factor_, MatrixView{pb.data(), n, 1, n});
-  std::vector<real_t> x(static_cast<std::size_t>(n));
-  for (index_t k = 0; k < n; ++k) x[total_perm_[k]] = pb[k];
-  return x;
+  // One sweep implementation: the 1-RHS facade is the blocked path.
+  return solve_multi(b, 1);
 }
 
 std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
                                         index_t nrhs) const {
   PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
+  PARFACT_CHECK(solve_schedule_ != nullptr);
   const index_t n = sym_->n;
   PARFACT_CHECK(nrhs >= 1);
   PARFACT_CHECK(static_cast<count_t>(b.size()) ==
@@ -151,7 +162,8 @@ std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
     const std::size_t off = static_cast<std::size_t>(c) * n;
     for (index_t kk = 0; kk < n; ++kk) pb[off + kk] = b[off + total_perm_[kk]];
   }
-  solve_in_place(*factor_, MatrixView{pb.data(), n, nrhs, n});
+  solve_in_place(*factor_, MatrixView{pb.data(), n, nrhs, n},
+                 *solve_schedule_, solve_workspace_, solve_pool());
   std::vector<real_t> x(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
     const std::size_t off = static_cast<std::size_t>(c) * n;
@@ -160,15 +172,73 @@ std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
   return x;
 }
 
+std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,
+                                        index_t nrhs) const {
+  PARFACT_CHECK_MSG(factor_.has_value(), "solve_batch() before factorize()");
+  PARFACT_CHECK(solve_schedule_ != nullptr);
+  const index_t n = sym_->n;
+  PARFACT_CHECK(nrhs >= 1);
+  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
+                static_cast<count_t>(n) * nrhs);
+  WallTimer timer;
+  std::vector<real_t> pb(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) pb[off + kk] = b[off + total_perm_[kk]];
+  }
+  MatrixView xv{pb.data(), n, nrhs, n};
+  // pb becomes x in place; keep the permuted right-hand sides for the
+  // batched refinement pass.
+  const std::vector<real_t> prhs =
+      options_.batch_refinement_passes > 0 ? pb : std::vector<real_t>{};
+  solve_in_place(*factor_, xv, *solve_schedule_, solve_workspace_,
+                 solve_pool());
+  real_t residual = 0.0;
+  if (options_.batch_refinement_passes > 0) {
+    // Refine the whole batch at once: one SpMV per column per pass plus
+    // one blocked correction solve per pass.
+    residual = refine_block(sym_->a, *factor_,
+                            ConstMatrixView{prhs.data(), n, nrhs, n}, xv,
+                            *solve_schedule_, solve_workspace_, solve_pool(),
+                            options_.batch_refinement_passes);
+  }
+  std::vector<real_t> x(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) x[off + total_perm_[kk]] = pb[off + kk];
+  }
+  const double seconds = timer.seconds();
+  const index_t wb = options_.solve_rhs_block;
+  const double n_blocks = static_cast<double>((nrhs + wb - 1) / wb);
+  const double sweeps = n_blocks * (1.0 + options_.batch_refinement_passes);
+  const double panel_bytes =
+      2.0 * static_cast<double>(factor_->stored_entries()) * sizeof(real_t);
+  const double arena_bytes =
+      2.0 * static_cast<double>(solve_schedule_->arena_entries_per_rhs()) *
+      static_cast<double>(nrhs) * sizeof(real_t) *
+      (1.0 + options_.batch_refinement_passes);
+  report_.batch_rhs = nrhs;
+  report_.batch_seconds = seconds;
+  report_.batch_solves_per_second =
+      seconds > 0.0 ? static_cast<double>(nrhs) / seconds : 0.0;
+  report_.batch_bytes_per_solve =
+      (sweeps * panel_bytes + arena_bytes) / static_cast<double>(nrhs);
+  report_.batch_residual = residual;
+  return x;
+}
+
 std::vector<real_t> Solver::solve_refined(std::span<const real_t> b) const {
   PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
+  PARFACT_CHECK(solve_schedule_ != nullptr);
   const index_t n = sym_->n;
   // Refine in the postordered space, where the factor lives.
   std::vector<real_t> pb(static_cast<std::size_t>(n));
   for (index_t k = 0; k < n; ++k) pb[k] = b[total_perm_[k]];
   std::vector<real_t> px = pb;
-  solve_in_place(*factor_, MatrixView{px.data(), n, 1, n});
-  (void)iterative_refinement(sym_->a, *factor_, pb, px,
+  solve_in_place(*factor_, MatrixView{px.data(), n, 1, n}, *solve_schedule_,
+                 solve_workspace_, solve_pool());
+  (void)iterative_refinement(sym_->a, *factor_, pb, px, *solve_schedule_,
+                             solve_workspace_, solve_pool(),
                              options_.refinement_steps);
   std::vector<real_t> x(static_cast<std::size_t>(n));
   for (index_t k = 0; k < n; ++k) x[total_perm_[k]] = px[k];
@@ -279,6 +349,36 @@ const SymbolicFactor& Solver::symbolic() const {
 const CholeskyFactor& Solver::factor() const {
   PARFACT_CHECK(factor_.has_value());
   return *factor_;
+}
+
+SolveBatch::SolveBatch(const Solver& solver)
+    : solver_(&solver), n_(solver.symbolic().n) {}
+
+index_t SolveBatch::add(std::span<const real_t> b) {
+  PARFACT_CHECK(static_cast<index_t>(b.size()) == n_);
+  solved_ = false;
+  b_.insert(b_.end(), b.begin(), b.end());
+  return nrhs_++;
+}
+
+void SolveBatch::solve() {
+  PARFACT_CHECK_MSG(nrhs_ > 0, "SolveBatch::solve() with no right-hand sides");
+  x_ = solver_->solve_batch(b_, nrhs_);
+  solved_ = true;
+}
+
+std::span<const real_t> SolveBatch::solution(index_t i) const {
+  PARFACT_CHECK_MSG(solved_, "SolveBatch::solution() before solve()");
+  PARFACT_CHECK(i >= 0 && i < nrhs_);
+  return {x_.data() + static_cast<std::size_t>(i) * n_,
+          static_cast<std::size_t>(n_)};
+}
+
+void SolveBatch::reset() {
+  b_.clear();
+  x_.clear();
+  nrhs_ = 0;
+  solved_ = false;
 }
 
 SymbolicFactor analyze_nested_dissection(const SparseMatrix& lower,

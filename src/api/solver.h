@@ -23,10 +23,13 @@
 #include "mf/factor.h"
 #include "mf/multifrontal.h"
 #include "mpsim/machine.h"
+#include "solve/solve_schedule.h"
 #include "sparse/sparse_matrix.h"
 #include "symbolic/symbolic_factor.h"
 
 namespace parfact {
+
+class ThreadPool;
 
 struct SolverOptions {
   enum class Ordering { kNestedDissection, kMinimumDegree, kRcm, kNatural };
@@ -47,6 +50,14 @@ struct SolverOptions {
   real_t pivot_threshold = 0.0;   ///< boost threshold; 0 = sqrt(eps)·max|A|
   real_t target_residual = 1e-10; ///< solve_robust() acceptance residual
   int cg_max_iterations = 500;    ///< solve_robust() fallback CG budget
+  /// Right-hand-side columns per blocked triangular sweep: every factor
+  /// panel is streamed once per block, so this is the solve phase's
+  /// flops-per-byte knob (and the reproducibility granule — results are
+  /// bitwise-stable for a fixed block width).
+  index_t solve_rhs_block = 32;
+  /// Iterative-refinement passes applied per solve_batch() call (one
+  /// blocked correction sweep each; 0 disables refinement for batches).
+  int batch_refinement_passes = 1;
   /// Crash-recovery configuration for factorize_distributed(): buddy
   /// checkpointing cadence and the optional checksummed scratch spill.
   /// Spare ranks themselves are part of the mpsim::FaultPlan.
@@ -78,6 +89,14 @@ struct SolverReport {
   double comm_idle_wait_seconds = 0.0;
   double comm_overlap_efficiency = 1.0;
   count_t max_in_flight_messages = 0;
+  /// solve_batch() only: throughput of the last batch. bytes/solve counts
+  /// the factor-panel and workspace traffic of the blocked sweeps divided
+  /// by the number of right-hand sides — the amortization the batch buys.
+  index_t batch_rhs = 0;
+  double batch_seconds = 0.0;
+  double batch_solves_per_second = 0.0;
+  double batch_bytes_per_solve = 0.0;
+  real_t batch_residual = 0.0;  ///< worst per-column residual (refined)
 };
 
 /// Which path of the solve_robust() escalation produced the answer.
@@ -131,8 +150,18 @@ class Solver {
 
   /// Blocked multiple-right-hand-side solve: `b` is n x nrhs column-major;
   /// returns the n x nrhs solution block (one factorization, one blocked
-  /// triangular sweep — the engineering-workload pattern).
+  /// triangular sweep — the engineering-workload pattern). solve() is this
+  /// with nrhs == 1: there is exactly one sweep implementation.
   [[nodiscard]] std::vector<real_t> solve_multi(std::span<const real_t> b,
+                                                index_t nrhs) const;
+
+  /// Batched serving entry point: fuses `nrhs` independent right-hand
+  /// sides (n x nrhs column-major) into blocked multi-RHS sweeps of
+  /// options.solve_rhs_block columns plus options.batch_refinement_passes
+  /// blocked refinement passes, and records per-batch throughput
+  /// (solves/sec, bytes/solve, worst residual) in report(). The solutions
+  /// are bitwise-identical to solve_multi() on the same block partition.
+  [[nodiscard]] std::vector<real_t> solve_batch(std::span<const real_t> b,
                                                 index_t nrhs) const;
 
   /// Solve with iterative refinement (options.refinement_steps iterations).
@@ -165,12 +194,48 @@ class Solver {
   [[nodiscard]] real_t condition_estimate() const;
 
  private:
+  /// Lazily created solve pool (options.threads > 1); the solve schedule
+  /// is built once per factorize() and reused by every solve.
+  [[nodiscard]] ThreadPool* solve_pool() const;
+  void build_solve_schedule();
+
   SolverOptions options_;
-  SolverReport report_;
+  mutable SolverReport report_;  ///< solve_batch() updates batch stats
   std::optional<SymbolicFactor> sym_;
   std::optional<CholeskyFactor> factor_;
   std::vector<index_t> total_perm_;  ///< postordered -> original
   SparseMatrix original_lower_;      ///< kept for residuals/refinement
+  std::unique_ptr<SolveSchedule> solve_schedule_;
+  mutable SolveWorkspace solve_workspace_;
+  mutable std::unique_ptr<ThreadPool> solve_pool_;
+};
+
+/// Accumulating batch helper for serving loops: callers add() single
+/// right-hand sides as they arrive, then one solve() call runs the fused
+/// blocked sweeps and per-batch refinement via Solver::solve_batch().
+class SolveBatch {
+ public:
+  explicit SolveBatch(const Solver& solver);
+
+  /// Queues one right-hand side (length n); returns its slot index.
+  /// Invalidates previous solutions.
+  index_t add(std::span<const real_t> b);
+
+  /// Solves every queued right-hand side in one fused batch.
+  void solve();
+
+  [[nodiscard]] index_t size() const { return nrhs_; }
+  /// Solution of slot i; valid after solve() until the next add()/reset().
+  [[nodiscard]] std::span<const real_t> solution(index_t i) const;
+  void reset();
+
+ private:
+  const Solver* solver_;
+  index_t n_ = 0;
+  index_t nrhs_ = 0;
+  bool solved_ = false;
+  std::vector<real_t> b_;
+  std::vector<real_t> x_;
 };
 
 /// Convenience for experiments: fill-order `lower` with nested dissection

@@ -234,8 +234,9 @@ void trsm_right_lower_trans(ConstMatrixView l, MatrixView b,
   });
 }
 
-void trsm_left_lower(ConstMatrixView l, MatrixView x) {
-  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+namespace {
+
+void trsm_left_lower_unblocked(ConstMatrixView l, MatrixView x) {
   const index_t n = l.rows;
   for (index_t c = 0; c < x.cols; ++c) {
     real_t* xc = &x.at(0, c);
@@ -249,8 +250,7 @@ void trsm_left_lower(ConstMatrixView l, MatrixView x) {
   }
 }
 
-void trsm_left_lower_trans(ConstMatrixView l, MatrixView x) {
-  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+void trsm_left_lower_trans_unblocked(ConstMatrixView l, MatrixView x) {
   const index_t n = l.rows;
   for (index_t c = 0; c < x.cols; ++c) {
     real_t* xc = &x.at(0, c);
@@ -260,6 +260,54 @@ void trsm_left_lower_trans(ConstMatrixView l, MatrixView x) {
       for (index_t i = k + 1; i < n; ++i) acc -= lk[i] * xc[i];
       xc[k] = acc / l.at(k, k);
     }
+  }
+}
+
+}  // namespace
+
+// Multi-column left-TRSMs are blocked so the off-diagonal bulk runs on the
+// packed gemm engine and the triangle is streamed once per diagonal block
+// instead of once per column. Single-column (and narrow) solves take the
+// unblocked path — there the packing traffic would dominate.
+void trsm_left_lower(ConstMatrixView l, MatrixView x) {
+  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+  const index_t n = l.rows;
+  const index_t w = x.cols;
+  if (n <= kTrsmBlock || !use_engine(w, kTrsmBlock)) {
+    trsm_left_lower_unblocked(l, x);
+    return;
+  }
+  for (index_t k0 = 0; k0 < n; k0 += kTrsmBlock) {
+    const index_t k1 = std::min(n, k0 + kTrsmBlock);
+    trsm_left_lower_unblocked(l.block(k0, k0, k1 - k0, k1 - k0),
+                              x.block(k0, 0, k1 - k0, w));
+    if (k1 < n) {
+      gemm_nn_update(x.block(k1, 0, n - k1, w),
+                     l.block(k1, k0, n - k1, k1 - k0),
+                     static_cast<ConstMatrixView>(x).block(k0, 0, k1 - k0, w));
+    }
+  }
+}
+
+void trsm_left_lower_trans(ConstMatrixView l, MatrixView x) {
+  PARFACT_CHECK(l.rows == l.cols && x.rows == l.rows);
+  const index_t n = l.rows;
+  const index_t w = x.cols;
+  if (n <= kTrsmBlock || !use_engine(w, kTrsmBlock)) {
+    trsm_left_lower_trans_unblocked(l, x);
+    return;
+  }
+  const index_t nblocks = (n + kTrsmBlock - 1) / kTrsmBlock;
+  for (index_t bi = nblocks - 1; bi >= 0; --bi) {
+    const index_t k0 = bi * kTrsmBlock;
+    const index_t k1 = std::min(n, k0 + kTrsmBlock);
+    if (k1 < n) {
+      gemm_tn_update(x.block(k0, 0, k1 - k0, w),
+                     l.block(k1, k0, n - k1, k1 - k0),
+                     static_cast<ConstMatrixView>(x).block(k1, 0, n - k1, w));
+    }
+    trsm_left_lower_trans_unblocked(l.block(k0, k0, k1 - k0, k1 - k0),
+                                    x.block(k0, 0, k1 - k0, w));
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "dense/kernels.h"
@@ -11,6 +12,7 @@
 namespace parfact {
 namespace {
 
+constexpr int kTagBelowPartial = 1;  // aggregated below-row reductions (fwd)
 constexpr int kTagContrib = 3;     // child below-row contributions (forward)
 constexpr int kTagFwdPartial = 4;  // grid-row partial reductions (forward)
 constexpr int kTagFwdX = 5;        // solved panel segment broadcast (forward)
@@ -20,7 +22,7 @@ constexpr int kTagStride = 8;      // must match dist_factor.cc
 
 struct SolveTriple {
   index_t row;  // parent-front-local row
-  index_t rhs;  // right-hand-side column
+  index_t rhs;  // right-hand-side column (global column index)
   real_t value;
 };
 
@@ -37,12 +39,16 @@ class SolveProgram {
  public:
   SolveProgram(const SymbolicFactor& sym, const FrontMap& map,
                const CholeskyFactor& factor, const std::vector<real_t>& b,
-               index_t nrhs, std::vector<real_t>& x_out, mpsim::Comm& comm)
+               index_t nrhs, const DistSolveConfig& config,
+               std::vector<real_t>& x_out, mpsim::Comm& comm)
       : sym_(sym),
         map_(map),
         factor_(factor),
         b_(b),
         nrhs_(nrhs),
+        wb_(std::min(config.rhs_block, nrhs)),
+        nb_((nrhs + config.rhs_block - 1) / config.rhs_block),
+        pipelined_(config.schedule == DistSolveConfig::Schedule::kPipelined),
         x_out_(x_out),
         comm_(comm) {
     children_.resize(static_cast<std::size_t>(sym.n_supernodes));
@@ -64,6 +70,39 @@ class SolveProgram {
   }
 
  private:
+  // --- RHS block partition (shared by both schedules). ---
+  [[nodiscard]] index_t col0(index_t blk) const { return blk * wb_; }
+  [[nodiscard]] index_t bw(index_t blk) const {
+    return std::min(wb_, nrhs_ - col0(blk));
+  }
+  /// Channel tag of (front, RHS block, message kind). nb_ is global, so
+  /// tags are unique across fronts.
+  [[nodiscard]] int tag(index_t s, index_t blk, int base) const {
+    return kTagStride * (static_cast<int>(s) * static_cast<int>(nb_) +
+                         static_cast<int>(blk)) +
+           base;
+  }
+  /// Columns [col0(blk), col0+bw) of a rows x nrhs_ column-major buffer.
+  [[nodiscard]] std::vector<real_t> slice(const std::vector<real_t>& v,
+                                          index_t rows, index_t blk) const {
+    std::vector<real_t> out(static_cast<std::size_t>(rows) * bw(blk));
+    std::copy_n(v.data() + static_cast<std::size_t>(col0(blk)) * rows,
+                out.size(), out.data());
+    return out;
+  }
+  void add_into_block(std::vector<real_t>& dst, index_t rows, index_t blk,
+                      const real_t* src) const {
+    real_t* d = dst.data() + static_cast<std::size_t>(col0(blk)) * rows;
+    const std::size_t count = static_cast<std::size_t>(rows) * bw(blk);
+    for (std::size_t i = 0; i < count; ++i) d[i] += src[i];
+  }
+  /// View of columns [col0(blk), +bw) of a rows x nrhs_ buffer.
+  [[nodiscard]] MatrixView block_view(std::vector<real_t>& v, index_t rows,
+                                      index_t blk) const {
+    return {v.data() + static_cast<std::size_t>(col0(blk)) * rows, rows,
+            bw(blk), rows};
+  }
+
   /// Factor block (ib, jb), jb < kp, of front s.
   [[nodiscard]] ConstMatrixView l_block(index_t s, const FrontBlocking& fb,
                                         index_t ib, index_t jb) const {
@@ -71,8 +110,24 @@ class SolveProgram {
         fb.start(ib), fb.start(jb), fb.size(ib), fb.size(jb));
   }
 
-  [[nodiscard]] MatrixView buf_view(std::vector<real_t>& v, index_t rows) {
-    return {v.data(), rows, nrhs_, rows};
+  /// Ranks of front `c` that carry extend-add contributions to its parent:
+  /// the grid-column-0 collectors owning at least one update block row.
+  /// Deterministic from the map alone, so senders and receivers agree on
+  /// exactly which messages exist — no empty-message traffic.
+  [[nodiscard]] std::vector<int> contrib_ranks(index_t c) const {
+    const FrontBlocking cfb = FrontBlocking::make(
+        sym_.sn_cols(c), sym_.sn_below(c), map_.block_size);
+    const int cpr = map_.grid_rows[c];
+    std::vector<int> out;
+    for (int ri = 0; ri < cpr; ++ri) {
+      for (index_t ib = cfb.kp; ib < cfb.nB; ++ib) {
+        if (static_cast<int>(ib) % cpr == ri) {
+          out.push_back(map_.grid_rank(c, ri, 0));  // ascending: gc == 0
+          break;
+        }
+      }
+    }
+    return out;
   }
 
   void forward_front(index_t s) {
@@ -85,32 +140,58 @@ class SolveProgram {
     const index_t first = sym_.sn_start[s];
     const auto rows = sym_.below_rows(s);
 
-    // Per-block-row accumulators: rhs additions from children (diag owners
-    // and collectors) plus -L(ib,kb)·x_kb partials.
+    // Per-block-row accumulators, full RHS width: additions from children
+    // (diag owners and collectors) plus -L(ib,kb)·x_kb partials.
     std::map<index_t, std::vector<real_t>> part;
     auto part_of = [&](index_t ib) -> std::vector<real_t>& {
       auto& v = part[ib];
-      if (v.empty()) v.assign(static_cast<std::size_t>(fb.size(ib)) * nrhs_, 0.0);
+      if (v.empty()) {
+        v.assign(static_cast<std::size_t>(fb.size(ib)) * nrhs_, 0.0);
+      }
       return v;
     };
 
-    // 1. Child contributions (one message from every rank of every child).
+    // 1. Child contributions: one message per (child, collector rank) — and,
+    // pipelined, per RHS block, merged lazily so block 0 can start while
+    // the children are still reducing the later blocks.
+    std::vector<int> contrib_src;
     for (index_t c : children_[s]) {
-      for (int src = map_.rank_begin[c];
-           src < map_.rank_begin[c] + map_.rank_count[c]; ++src) {
-        const auto triples = comm_.recv_vec<SolveTriple>(
-            src, kTagStride * static_cast<int>(s) + kTagContrib);
-        for (const SolveTriple& t : triples) {
-          const index_t ib = fb.block_of(t.row);
-          part_of(ib)[static_cast<std::size_t>(t.rhs) * fb.size(ib) +
-                      (t.row - fb.start(ib))] += t.value;
+      for (int src : contrib_ranks(c)) contrib_src.push_back(src);
+    }
+    auto scatter = [&](const std::vector<SolveTriple>& triples) {
+      for (const SolveTriple& t : triples) {
+        const index_t ib = fb.block_of(t.row);
+        part_of(ib)[static_cast<std::size_t>(t.rhs) * fb.size(ib) +
+                    (t.row - fb.start(ib))] += t.value;
+      }
+      comm_.advance_bytes(static_cast<count_t>(triples.size()) *
+                          static_cast<count_t>(sizeof(SolveTriple)));
+    };
+    std::vector<std::vector<mpsim::Request>> creq;
+    std::vector<char> merged;
+    if (pipelined_) {
+      creq.resize(static_cast<std::size_t>(nb_));
+      merged.assign(static_cast<std::size_t>(nb_), 0);
+      for (index_t blk = 0; blk < nb_; ++blk) {
+        for (int src : contrib_src) {
+          creq[blk].push_back(comm_.irecv(src, tag(s, blk, kTagContrib)));
         }
-        comm_.advance_bytes(static_cast<count_t>(triples.size()) *
-                            static_cast<count_t>(sizeof(SolveTriple)));
+      }
+    } else {
+      for (int src : contrib_src) {
+        scatter(comm_.recv_vec<SolveTriple>(src, tag(s, 0, kTagContrib)));
       }
     }
+    auto need_block = [&](index_t blk) {
+      if (!pipelined_ || merged[blk]) return;
+      merged[blk] = 1;
+      for (mpsim::Request& r : creq[blk]) {
+        scatter(comm_.wait_vec<SolveTriple>(r));
+      }
+    };
 
-    // 2. Panel sweep.
+    // 2. Panel sweep: kb outer, RHS block inner. Both schedules run the
+    // same per-block arithmetic; they differ in message granularity.
     for (index_t kb = 0; kb < fb.kp; ++kb) {
       const int kbr = static_cast<int>(kb) % pr;
       const int kbc = static_cast<int>(kb) % pc;
@@ -118,122 +199,291 @@ class SolveProgram {
       const int diag_rank = map_.grid_rank(s, kbr, kbc);
       const int max_sender_col =
           std::min<int>(pc, static_cast<int>(std::min(kb, fb.kp)));
+      const bool is_diag = comm_.rank() == diag_rank;
+      const bool is_sender = gr == kbr && gc != kbc && gc < max_sender_col;
+      const bool is_col_owner =
+          gc == kbc && grid_row_owns_below(fb, kb, gr, pr);
 
-      if (gr == kbr && gc != kbc && gc < max_sender_col) {
-        comm_.send_vec(diag_rank,
-                       kTagStride * static_cast<int>(s) + kTagFwdPartial,
-                       part_of(kb));
-      }
-      std::vector<real_t> xkb;
-      if (comm_.rank() == diag_rank) {
-        xkb = part_of(kb);
-        // Add the replicated right-hand side rows.
-        for (index_t r = 0; r < nrhs_; ++r) {
+      // Adds the replicated right-hand side rows of block kb, RHS block blk,
+      // into a full-width (bk x nrhs_) buffer.
+      auto add_b_rows = [&](std::vector<real_t>& xkb, index_t blk) {
+        const index_t w = bw(blk);
+        for (index_t cc = 0; cc < w; ++cc) {
+          const std::size_t r = static_cast<std::size_t>(col0(blk) + cc);
           for (index_t i = 0; i < bk; ++i) {
-            xkb[static_cast<std::size_t>(r) * bk + i] +=
-                b_[static_cast<std::size_t>(r) * sym_.n + first +
-                   fb.start(kb) + i];
+            xkb[r * bk + i] += b_[r * sym_.n + first + fb.start(kb) + i];
           }
         }
-        for (int c = 0; c < max_sender_col; ++c) {
-          if (c == kbc) continue;
-          const auto partial = comm_.recv_vec<real_t>(
-              map_.grid_rank(s, kbr, c),
-              kTagStride * static_cast<int>(s) + kTagFwdPartial);
-          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += partial[i];
+      };
+
+      if (!pipelined_) {
+        // --- Blocking: full-width messages, per-block compute. ---
+        if (is_sender) {
+          comm_.send_vec(diag_rank, tag(s, 0, kTagFwdPartial), part_of(kb));
         }
-        trsm_left_lower(l_block(s, fb, kb, kb), buf_view(xkb, bk));
-        comm_.advance_compute(static_cast<count_t>(bk) * bk * nrhs_);
-        y_fwd_[{s, kb}] = xkb;
-        for (int ri = 0; ri < pr; ++ri) {
-          if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
-          comm_.send_vec(map_.grid_rank(s, ri, kbc),
-                         kTagStride * static_cast<int>(s) + kTagFwdX, xkb);
+        std::vector<real_t> xfull;
+        if (is_diag) {
+          xfull = part_of(kb);
+          for (index_t blk = 0; blk < nb_; ++blk) add_b_rows(xfull, blk);
+          for (int c = 0; c < max_sender_col; ++c) {
+            if (c == kbc) continue;
+            const auto partial = comm_.recv_vec<real_t>(
+                map_.grid_rank(s, kbr, c), tag(s, 0, kTagFwdPartial));
+            for (std::size_t i = 0; i < xfull.size(); ++i) {
+              xfull[i] += partial[i];
+            }
+          }
+          for (index_t blk = 0; blk < nb_; ++blk) {
+            trsm_left_lower(l_block(s, fb, kb, kb),
+                            block_view(xfull, bk, blk));
+            comm_.advance_compute(static_cast<count_t>(bk) * bk * bw(blk));
+          }
+          y_fwd_[{s, kb}] = xfull;
+          for (int ri = 0; ri < pr; ++ri) {
+            if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
+            comm_.send_vec(map_.grid_rank(s, ri, kbc), tag(s, 0, kTagFwdX),
+                           xfull);
+          }
+        } else if (is_col_owner) {
+          xfull = comm_.recv_vec<real_t>(diag_rank, tag(s, 0, kTagFwdX));
         }
-      } else if (gc == kbc && grid_row_owns_below(fb, kb, gr, pr)) {
-        xkb = comm_.recv_vec<real_t>(
-            diag_rank, kTagStride * static_cast<int>(s) + kTagFwdX);
+        if (gc == kbc && !xfull.empty()) {
+          for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+            if (static_cast<int>(ib) % pr != gr) continue;
+            auto& acc = part_of(ib);
+            for (index_t blk = 0; blk < nb_; ++blk) {
+              gemm_nn_update(
+                  block_view(acc, fb.size(ib), blk), l_block(s, fb, ib, kb),
+                  ConstMatrixView{
+                      xfull.data() +
+                          static_cast<std::size_t>(col0(blk)) * bk,
+                      bk, bw(blk), bk});
+              comm_.advance_compute(2 * static_cast<count_t>(fb.size(ib)) *
+                                    bk * bw(blk));
+            }
+          }
+        }
+        continue;
       }
 
-      if (gc == kbc && !xkb.empty()) {
-        for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
-          if (static_cast<int>(ib) % pr != gr) continue;
-          auto& acc = part_of(ib);
-          gemm_nn_update(buf_view(acc, fb.size(ib)), l_block(s, fb, ib, kb),
-                         ConstMatrixView{xkb.data(), bk, nrhs_, bk});
-          comm_.advance_compute(2 * static_cast<count_t>(fb.size(ib)) * bk *
-                                nrhs_);
+      // --- Pipelined: preposted per-block receives, per-block sends. ---
+      std::vector<std::vector<mpsim::Request>> preq;  // [blk][sender col]
+      std::vector<mpsim::Request> xreq;               // [blk]
+      if (is_diag) {
+        preq.resize(static_cast<std::size_t>(nb_));
+        for (index_t blk = 0; blk < nb_; ++blk) {
+          for (int c = 0; c < max_sender_col; ++c) {
+            if (c == kbc) continue;
+            preq[blk].push_back(comm_.irecv(map_.grid_rank(s, kbr, c),
+                                            tag(s, blk, kTagFwdPartial)));
+          }
+        }
+      } else if (is_col_owner) {
+        for (index_t blk = 0; blk < nb_; ++blk) {
+          xreq.push_back(comm_.irecv(diag_rank, tag(s, blk, kTagFwdX)));
+        }
+      }
+      for (index_t blk = 0; blk < nb_; ++blk) {
+        need_block(blk);
+        const index_t w = bw(blk);
+        if (is_sender) {
+          comm_.send_vec(diag_rank, tag(s, blk, kTagFwdPartial),
+                         slice(part_of(kb), bk, blk));
+        }
+        std::vector<real_t> xblk;
+        if (is_diag) {
+          xblk = slice(part_of(kb), bk, blk);
+          {
+            const index_t c0 = col0(blk);
+            for (index_t cc = 0; cc < w; ++cc) {
+              for (index_t i = 0; i < bk; ++i) {
+                xblk[static_cast<std::size_t>(cc) * bk + i] +=
+                    b_[static_cast<std::size_t>(c0 + cc) * sym_.n + first +
+                       fb.start(kb) + i];
+              }
+            }
+          }
+          for (mpsim::Request& r : preq[blk]) {
+            const auto partial = comm_.wait_vec<real_t>(r);
+            for (std::size_t i = 0; i < xblk.size(); ++i) {
+              xblk[i] += partial[i];
+            }
+          }
+          trsm_left_lower(l_block(s, fb, kb, kb),
+                          MatrixView{xblk.data(), bk, w, bk});
+          comm_.advance_compute(static_cast<count_t>(bk) * bk * w);
+          auto& y = y_fwd_[{s, kb}];
+          if (y.empty()) {
+            y.assign(static_cast<std::size_t>(bk) * nrhs_, 0.0);
+          }
+          std::copy_n(xblk.data(), xblk.size(),
+                      y.data() + static_cast<std::size_t>(col0(blk)) * bk);
+          for (int ri = 0; ri < pr; ++ri) {
+            if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
+            comm_.send_vec(map_.grid_rank(s, ri, kbc), tag(s, blk, kTagFwdX),
+                           xblk);
+          }
+        } else if (is_col_owner) {
+          xblk = comm_.wait_vec<real_t>(xreq[blk]);
+        }
+        if (gc == kbc && !xblk.empty()) {
+          for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+            if (static_cast<int>(ib) % pr != gr) continue;
+            gemm_nn_update(block_view(part_of(ib), fb.size(ib), blk),
+                           l_block(s, fb, ib, kb),
+                           ConstMatrixView{xblk.data(), bk, w, bk});
+            comm_.advance_compute(2 * static_cast<count_t>(fb.size(ib)) * bk *
+                                  w);
+          }
         }
       }
     }
 
-    // 3. Reduce below-row partials to per-block-row collectors and route
-    // them to the parent as (parent-local row, rhs, value) triples.
+    // 3. Reduce below-row partials to the per-grid-row collectors (column
+    // 0) and route them to the parent as (parent-local row, rhs, value)
+    // triples. Pipelined: per RHS block, with every owned block row
+    // aggregated into one message per destination, and the parent-bound
+    // triples for block k leaving before block k+1 is reduced.
     const index_t parent = sym_.sn_parent[s];
-    std::vector<std::vector<SolveTriple>> outbox;
     int pbegin = 0, pcount = 0;
+    FrontBlocking pfb = fb;  // placeholder; rebuilt when parent exists
+    index_t pfirst = 0, pblock_end = 0;
+    std::span<const index_t> prows;
     if (parent != kNone) {
       pbegin = map_.rank_begin[parent];
       pcount = map_.rank_count[parent];
-      outbox.resize(static_cast<std::size_t>(pcount));
+      pfb = FrontBlocking::make(sym_.sn_cols(parent), sym_.sn_below(parent),
+                                map_.block_size);
+      pfirst = sym_.sn_start[parent];
+      pblock_end = sym_.sn_start[parent + 1];
+      prows = sym_.below_rows(parent);
     }
     const int max_collector_col = std::min<int>(pc, static_cast<int>(fb.kp));
-    for (index_t ib = fb.kp; ib < fb.nB; ++ib) {
-      const int ibr = static_cast<int>(ib) % pr;
-      const int collector = map_.grid_rank(s, ibr, 0);
-      if (gr == ibr && gc != 0 && gc < max_collector_col) {
-        comm_.send_vec(collector,
-                       kTagStride * static_cast<int>(s) + kTagFwdPartial,
-                       part_of(ib));
+    // Parent rank consuming front-local row `lr` of the parent.
+    auto parent_dest = [&](index_t grow) -> std::pair<index_t, int> {
+      index_t lr;
+      if (grow < pblock_end) {
+        lr = grow - pfirst;
+      } else {
+        const auto it = std::lower_bound(prows.begin(), prows.end(), grow);
+        PARFACT_DCHECK(it != prows.end() && *it == grow);
+        lr = pfb.p + static_cast<index_t>(it - prows.begin());
       }
-      if (comm_.rank() != collector) continue;
-      auto total = part_of(ib);
-      for (int c = 1; c < max_collector_col; ++c) {
-        const auto partial = comm_.recv_vec<real_t>(
-            map_.grid_rank(s, ibr, c),
-            kTagStride * static_cast<int>(s) + kTagFwdPartial);
-        for (std::size_t i = 0; i < total.size(); ++i) total[i] += partial[i];
+      const index_t pib = pfb.block_of(lr);
+      const int dest =
+          lr < pfb.p
+              ? map_.grid_rank(
+                    parent,
+                    static_cast<int>(pib) % map_.grid_rows[parent],
+                    static_cast<int>(pib) % map_.grid_cols[parent])
+              : map_.grid_rank(
+                    parent,
+                    static_cast<int>(pib) % map_.grid_rows[parent], 0);
+      return {lr, dest};
+    };
+    // Block rows of the update region this grid row owns.
+    std::vector<index_t> mine;
+    if (gr >= 0) {
+      for (index_t ib = fb.kp; ib < fb.nB; ++ib) {
+        if (static_cast<int>(ib) % pr == gr) mine.push_back(ib);
       }
-      if (parent == kNone) continue;
-      // Route each row to the parent rank that consumes it.
-      const FrontBlocking pfb = FrontBlocking::make(
-          sym_.sn_cols(parent), sym_.sn_below(parent), map_.block_size);
-      const index_t pfirst = sym_.sn_start[parent];
-      const index_t pblock_end = sym_.sn_start[parent + 1];
-      const auto prows = sym_.below_rows(parent);
-      for (index_t i = 0; i < fb.size(ib); ++i) {
-        const index_t grow = rows[fb.start(ib) - fb.p + i];
-        index_t lr;
-        if (grow < pblock_end) {
-          lr = grow - pfirst;
-        } else {
-          const auto it = std::lower_bound(prows.begin(), prows.end(), grow);
-          PARFACT_DCHECK(it != prows.end() && *it == grow);
-          lr = pfb.p + static_cast<index_t>(it - prows.begin());
+    }
+
+    if (!pipelined_) {
+      // Blocking: per-block-row full-width messages, one outbox send.
+      std::vector<std::vector<SolveTriple>> outbox(
+          static_cast<std::size_t>(pcount));
+      for (index_t ib : mine) {
+        const int collector = map_.grid_rank(s, gr, 0);
+        if (gc != 0 && gc < max_collector_col) {
+          comm_.send_vec(collector, tag(s, 0, kTagBelowPartial), part_of(ib));
         }
-        const index_t pib = pfb.block_of(lr);
-        const int dest =
-            lr < pfb.p
-                ? map_.grid_rank(parent, static_cast<int>(pib) %
-                                             map_.grid_rows[parent],
-                                 static_cast<int>(pib) %
-                                     map_.grid_cols[parent])
-                : map_.grid_rank(parent,
-                                 static_cast<int>(pib) %
-                                     map_.grid_rows[parent],
-                                 0);
-        for (index_t r = 0; r < nrhs_; ++r) {
-          const real_t v = total[static_cast<std::size_t>(r) * fb.size(ib) + i];
-          if (v != 0.0) {
-            outbox[dest - pbegin].push_back(SolveTriple{lr, r, v});
+        if (comm_.rank() != collector) continue;
+        auto& total = part_of(ib);
+        for (int c = 1; c < max_collector_col; ++c) {
+          const auto partial = comm_.recv_vec<real_t>(
+              map_.grid_rank(s, gr, c), tag(s, 0, kTagBelowPartial));
+          for (std::size_t i = 0; i < total.size(); ++i) {
+            total[i] += partial[i];
+          }
+        }
+        if (parent == kNone) continue;
+        for (index_t i = 0; i < fb.size(ib); ++i) {
+          const auto [lr, dest] =
+              parent_dest(rows[fb.start(ib) - fb.p + i]);
+          for (index_t r = 0; r < nrhs_; ++r) {
+            const real_t v =
+                total[static_cast<std::size_t>(r) * fb.size(ib) + i];
+            if (v != 0.0) {
+              outbox[dest - pbegin].push_back(SolveTriple{lr, r, v});
+            }
           }
         }
       }
+      if (parent != kNone && gc == 0 && !mine.empty()) {
+        for (int d = 0; d < pcount; ++d) {
+          comm_.send_vec(pbegin + d, tag(parent, 0, kTagContrib), outbox[d]);
+        }
+      }
+      return;
     }
-    if (parent != kNone) {
-      const int tag = kTagStride * static_cast<int>(parent) + kTagContrib;
+
+    // Pipelined: per-destination aggregation. Senders concatenate all of
+    // their block rows (ascending) into one message per RHS block; the
+    // collector splits in the same order, so the per-element addition
+    // sequence (ascending sender column) matches the blocking path.
+    const bool is_below_sender =
+        gr >= 0 && gc != 0 && gc < max_collector_col && !mine.empty();
+    const bool is_collector = gr >= 0 && gc == 0 && !mine.empty();
+    std::vector<std::vector<mpsim::Request>> breq;  // [blk][sender col - 1]
+    if (is_collector) {
+      breq.resize(static_cast<std::size_t>(nb_));
+      for (index_t blk = 0; blk < nb_; ++blk) {
+        for (int c = 1; c < max_collector_col; ++c) {
+          breq[blk].push_back(comm_.irecv(map_.grid_rank(s, gr, c),
+                                          tag(s, blk, kTagBelowPartial)));
+        }
+      }
+    }
+    for (index_t blk = 0; blk < nb_; ++blk) {
+      need_block(blk);
+      if (is_below_sender) {
+        std::vector<real_t> agg;
+        for (index_t ib : mine) {
+          const auto piece = slice(part_of(ib), fb.size(ib), blk);
+          agg.insert(agg.end(), piece.begin(), piece.end());
+        }
+        comm_.send_vec(map_.grid_rank(s, gr, 0),
+                       tag(s, blk, kTagBelowPartial), agg);
+      }
+      if (!is_collector) continue;
+      for (mpsim::Request& r : breq[blk]) {
+        const auto agg = comm_.wait_vec<real_t>(r);
+        std::size_t off = 0;
+        for (index_t ib : mine) {
+          add_into_block(part_of(ib), fb.size(ib), blk, agg.data() + off);
+          off += static_cast<std::size_t>(fb.size(ib)) * bw(blk);
+        }
+      }
+      if (parent == kNone) continue;
+      std::vector<std::vector<SolveTriple>> outbox(
+          static_cast<std::size_t>(pcount));
+      for (index_t ib : mine) {
+        const auto& total = part_of(ib);
+        for (index_t i = 0; i < fb.size(ib); ++i) {
+          const auto [lr, dest] = parent_dest(rows[fb.start(ib) - fb.p + i]);
+          for (index_t cc = 0; cc < bw(blk); ++cc) {
+            const index_t r = col0(blk) + cc;
+            const real_t v =
+                total[static_cast<std::size_t>(r) * fb.size(ib) + i];
+            if (v != 0.0) {
+              outbox[dest - pbegin].push_back(SolveTriple{lr, r, v});
+            }
+          }
+        }
+      }
       for (int d = 0; d < pcount; ++d) {
-        comm_.send_vec(pbegin + d, tag, outbox[d]);
+        comm_.send_vec(pbegin + d, tag(parent, blk, kTagContrib), outbox[d]);
       }
     }
   }
@@ -260,67 +510,130 @@ class SolveProgram {
       const int kbc = static_cast<int>(kb) % pc;
       const index_t bk = fb.size(kb);
       const int diag_rank = map_.grid_rank(s, kbr, kbc);
+      const bool is_diag = comm_.rank() == diag_rank;
+      const bool is_owner = gc == kbc && grid_row_owns_below(fb, kb, gr, pr);
 
-      std::vector<real_t> partial;
-      if (gc == kbc && grid_row_owns_below(fb, kb, gr, pr)) {
-        partial.assign(static_cast<std::size_t>(bk) * nrhs_, 0.0);
-        std::vector<real_t> xi;
-        for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
-          if (static_cast<int>(ib) % pr != gr) continue;
-          const index_t bi = fb.size(ib);
-          xi.resize(static_cast<std::size_t>(bi) * nrhs_);
-          for (index_t r = 0; r < nrhs_; ++r) {
-            for (index_t i = 0; i < bi; ++i) {
-              xi[static_cast<std::size_t>(r) * bi + i] =
-                  x_at(fb.start(ib) + i, r);
-            }
-          }
-          gemm_tn_update(buf_view(partial, bk), l_block(s, fb, ib, kb),
-                         ConstMatrixView{xi.data(), bi, nrhs_, bi});
-          comm_.advance_compute(2 * static_cast<count_t>(bi) * bk * nrhs_);
-        }
-        if (comm_.rank() != diag_rank) {
-          comm_.send_vec(diag_rank,
-                         kTagStride * static_cast<int>(s) + kTagBwdPartial,
-                         partial);
+      // Rows (other than kbr) holding below blocks: their column-kbc ranks
+      // send partials to the diagonal owner.
+      std::vector<int> partial_rows;
+      for (int ri = 0; ri < pr; ++ri) {
+        if (ri != kbr && grid_row_owns_below(fb, kb, ri, pr)) {
+          partial_rows.push_back(ri);
         }
       }
 
-      std::vector<real_t> xkb;
-      if (comm_.rank() == diag_rank) {
+      std::vector<std::vector<mpsim::Request>> rreq;  // [blk][partial row]
+      std::vector<mpsim::Request> xreq;               // [blk]
+      if (pipelined_) {
+        if (is_diag) {
+          rreq.resize(static_cast<std::size_t>(nb_));
+          for (index_t blk = 0; blk < nb_; ++blk) {
+            for (int ri : partial_rows) {
+              rreq[blk].push_back(comm_.irecv(map_.grid_rank(s, ri, kbc),
+                                              tag(s, blk, kTagBwdPartial)));
+            }
+          }
+        } else {
+          for (index_t blk = 0; blk < nb_; ++blk) {
+            xreq.push_back(comm_.irecv(diag_rank, tag(s, blk, kTagBwdX)));
+          }
+        }
+      }
+
+      // In-panel partials: -Σ L(ib,kb)ᵀ x(ib), per RHS block, block rows
+      // ascending. Pipelined ships each block the moment it is complete.
+      std::vector<real_t> partial;  // bk x nrhs_, own contribution
+      if (is_owner) {
+        partial.assign(static_cast<std::size_t>(bk) * nrhs_, 0.0);
+        std::vector<real_t> xi;
+        for (index_t blk = 0; blk < nb_; ++blk) {
+          const index_t w = bw(blk);
+          for (index_t ib = kb + 1; ib < fb.nB; ++ib) {
+            if (static_cast<int>(ib) % pr != gr) continue;
+            const index_t bi = fb.size(ib);
+            xi.resize(static_cast<std::size_t>(bi) * w);
+            for (index_t cc = 0; cc < w; ++cc) {
+              for (index_t i = 0; i < bi; ++i) {
+                xi[static_cast<std::size_t>(cc) * bi + i] =
+                    x_at(fb.start(ib) + i, col0(blk) + cc);
+              }
+            }
+            gemm_tn_update(block_view(partial, bk, blk),
+                           l_block(s, fb, ib, kb),
+                           ConstMatrixView{xi.data(), bi, w, bi});
+            comm_.advance_compute(2 * static_cast<count_t>(bi) * bk * w);
+          }
+          if (pipelined_ && !is_diag) {
+            comm_.send_vec(diag_rank, tag(s, blk, kTagBwdPartial),
+                           slice(partial, bk, blk));
+          }
+        }
+        if (!pipelined_ && !is_diag) {
+          comm_.send_vec(diag_rank, tag(s, 0, kTagBwdPartial), partial);
+        }
+      }
+
+      if (is_diag) {
         const auto it = y_fwd_.find({s, kb});
         PARFACT_DCHECK(it != y_fwd_.end());
-        xkb = it->second;
-        if (factor_.is_ldlt()) {
-          // x = L⁻ᵀ D⁻¹ (L⁻¹ b): apply the diagonal solve as the backward
-          // sweep picks each forward segment up.
-          const auto dd = factor_.diag();
-          for (index_t r = 0; r < nrhs_; ++r) {
-            for (index_t i = 0; i < bk; ++i) {
-              xkb[static_cast<std::size_t>(r) * bk + i] /=
-                  dd[first + fb.start(kb) + i];
+        std::vector<real_t> xkb = std::move(it->second);
+        y_fwd_.erase(it);
+        // Blocking: all remote partials arrive as full-width messages
+        // before any block computes (ascending sender row, like the
+        // per-block waits of the pipelined path).
+        std::vector<std::vector<real_t>> rfull;
+        if (!pipelined_) {
+          for (int ri : partial_rows) {
+            rfull.push_back(comm_.recv_vec<real_t>(
+                map_.grid_rank(s, ri, kbc), tag(s, 0, kTagBwdPartial)));
+          }
+        }
+        for (index_t blk = 0; blk < nb_; ++blk) {
+          const index_t w = bw(blk);
+          real_t* xb = xkb.data() + static_cast<std::size_t>(col0(blk)) * bk;
+          if (factor_.is_ldlt()) {
+            // x = L⁻ᵀ D⁻¹ (L⁻¹ b): apply the diagonal solve as the
+            // backward sweep picks each forward segment up.
+            const auto dd = factor_.diag();
+            for (index_t cc = 0; cc < w; ++cc) {
+              for (index_t i = 0; i < bk; ++i) {
+                xb[static_cast<std::size_t>(cc) * bk + i] /=
+                    dd[first + fb.start(kb) + i];
+              }
+            }
+          }
+          if (is_owner) {
+            add_into_block(xkb, bk, blk,
+                           partial.data() +
+                               static_cast<std::size_t>(col0(blk)) * bk);
+          }
+          for (std::size_t j = 0; j < partial_rows.size(); ++j) {
+            const std::vector<real_t> rp =
+                pipelined_ ? comm_.wait_vec<real_t>(rreq[blk][j])
+                           : slice(rfull[j], bk, blk);
+            add_into_block(xkb, bk, blk, rp.data());
+          }
+          trsm_left_lower_trans(l_block(s, fb, kb, kb),
+                                block_view(xkb, bk, blk));
+          comm_.advance_compute(static_cast<count_t>(bk) * bk * w);
+          if (pipelined_) {
+            // Broadcast this block to every other participant right away:
+            // they start their own partials for kb-1 while the remaining
+            // blocks of kb are still being solved.
+            const std::vector<real_t> xblk = slice(xkb, bk, blk);
+            for (int other = map_.rank_begin[s];
+                 other < map_.rank_begin[s] + np; ++other) {
+              if (other == comm_.rank()) continue;
+              comm_.send_vec(other, tag(s, blk, kTagBwdX), xblk);
             }
           }
         }
-        if (!partial.empty()) {
-          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += partial[i];
-        }
-        for (int ri = 0; ri < pr; ++ri) {
-          if (ri == kbr || !grid_row_owns_below(fb, kb, ri, pr)) continue;
-          const auto rp = comm_.recv_vec<real_t>(
-              map_.grid_rank(s, ri, kbc),
-              kTagStride * static_cast<int>(s) + kTagBwdPartial);
-          for (std::size_t i = 0; i < xkb.size(); ++i) xkb[i] += rp[i];
-        }
-        trsm_left_lower_trans(l_block(s, fb, kb, kb), buf_view(xkb, bk));
-        comm_.advance_compute(static_cast<count_t>(bk) * bk * nrhs_);
-        // Broadcast to every other participant: they need it for their own
-        // in-panel partials and to serve the invariant for child fronts.
-        for (int other = map_.rank_begin[s]; other < map_.rank_begin[s] + np;
-             ++other) {
-          if (other == comm_.rank()) continue;
-          comm_.send_vec(other,
-                         kTagStride * static_cast<int>(s) + kTagBwdX, xkb);
+        if (!pipelined_) {
+          for (int other = map_.rank_begin[s];
+               other < map_.rank_begin[s] + np; ++other) {
+            if (other == comm_.rank()) continue;
+            comm_.send_vec(other, tag(s, 0, kTagBwdX), xkb);
+          }
         }
         // Final answer rows: the diagonal owner writes them (disjointly).
         for (index_t r = 0; r < nrhs_; ++r) {
@@ -328,18 +641,35 @@ class SolveProgram {
             x_out_[static_cast<std::size_t>(r) * sym_.n + first +
                    fb.start(kb) + i] =
                 xkb[static_cast<std::size_t>(r) * bk + i];
+            x_known_[static_cast<std::size_t>(r) * sym_.n + first +
+                     fb.start(kb) + i] =
+                xkb[static_cast<std::size_t>(r) * bk + i];
           }
         }
       } else {
-        xkb = comm_.recv_vec<real_t>(
-            diag_rank, kTagStride * static_cast<int>(s) + kTagBwdX);
-      }
-      // Everyone records the solved segment for later fronts/children.
-      for (index_t r = 0; r < nrhs_; ++r) {
-        for (index_t i = 0; i < bk; ++i) {
-          x_known_[static_cast<std::size_t>(r) * sym_.n + first +
-                   fb.start(kb) + i] =
-              xkb[static_cast<std::size_t>(r) * bk + i];
+        // Everyone records the solved segment for later fronts/children.
+        if (pipelined_) {
+          for (index_t blk = 0; blk < nb_; ++blk) {
+            const auto xblk = comm_.wait_vec<real_t>(xreq[blk]);
+            const index_t w = bw(blk);
+            for (index_t cc = 0; cc < w; ++cc) {
+              for (index_t i = 0; i < bk; ++i) {
+                x_known_[static_cast<std::size_t>(col0(blk) + cc) * sym_.n +
+                         first + fb.start(kb) + i] =
+                    xblk[static_cast<std::size_t>(cc) * bk + i];
+              }
+            }
+          }
+        } else {
+          const auto xkb =
+              comm_.recv_vec<real_t>(diag_rank, tag(s, 0, kTagBwdX));
+          for (index_t r = 0; r < nrhs_; ++r) {
+            for (index_t i = 0; i < bk; ++i) {
+              x_known_[static_cast<std::size_t>(r) * sym_.n + first +
+                       fb.start(kb) + i] =
+                  xkb[static_cast<std::size_t>(r) * bk + i];
+            }
+          }
         }
       }
     }
@@ -350,6 +680,9 @@ class SolveProgram {
   const CholeskyFactor& factor_;
   const std::vector<real_t>& b_;
   const index_t nrhs_;
+  const index_t wb_;       ///< RHS block width
+  const index_t nb_;       ///< number of RHS blocks (global, for tags)
+  const bool pipelined_;
   std::vector<real_t>& x_out_;
   mpsim::Comm& comm_;
   std::vector<std::vector<index_t>> children_;
@@ -364,9 +697,11 @@ DistSolveResult distributed_solve(const SymbolicFactor& sym,
                                   const CholeskyFactor& factor,
                                   const std::vector<real_t>& b, index_t nrhs,
                                   const mpsim::MachineModel& model,
-                                  const mpsim::FaultPlan& faults) {
+                                  const mpsim::FaultPlan& faults,
+                                  const DistSolveConfig& config) {
   PARFACT_CHECK(static_cast<count_t>(b.size()) ==
                 static_cast<count_t>(sym.n) * nrhs);
+  PARFACT_CHECK(config.rhs_block >= 1);
   if (!faults.crashes.empty() || faults.spare_ranks > 0) {
     // Crash recovery is a factorization-phase protocol (buddy checkpoints
     // are taken at front boundaries); the solve sweeps have no resume
@@ -380,7 +715,8 @@ DistSolveResult distributed_solve(const SymbolicFactor& sym,
   result.x.assign(b.size(), 0.0);
   result.run =
       mpsim::run_spmd(map.n_ranks, model, faults, [&](mpsim::Comm& comm) {
-        SolveProgram program(sym, map, factor, b, nrhs, result.x, comm);
+        SolveProgram program(sym, map, factor, b, nrhs, config, result.x,
+                             comm);
         program.run();
       });
   result.status = Status::success();
@@ -393,9 +729,11 @@ DistSolveResult distributed_solve_checked(const SymbolicFactor& sym,
                                           const std::vector<real_t>& b,
                                           index_t nrhs,
                                           const mpsim::MachineModel& model,
-                                          const mpsim::FaultPlan& faults) {
+                                          const mpsim::FaultPlan& faults,
+                                          const DistSolveConfig& config) {
   try {
-    return distributed_solve(sym, map, factor, b, nrhs, model, faults);
+    return distributed_solve(sym, map, factor, b, nrhs, model, faults,
+                             config);
   } catch (const StatusError& e) {
     DistSolveResult result;
     result.status = e.status();

@@ -12,6 +12,25 @@
 // the front is processed (parents broadcast panel solutions to all their
 // participants, and child rank sets nest inside parent rank sets, so the
 // values are already local — zero extra messages to enter a child).
+//
+// Both sweeps compute on a fixed partition of the right-hand sides into
+// blocks of config.rhs_block columns; the two schedules share that
+// partition and therefore every floating-point operation sequence:
+//
+//   kBlocking  — the seed protocol: one full-width message per exchange
+//                (all RHS blocks travel together), blocking recvs.
+//   kPipelined — built on the mpsim isend/irecv request layer: every
+//                exchange ships per-RHS-block messages the moment that
+//                block's values exist, receives are preposted and waited
+//                per block, and the below-row reduction aggregates all of
+//                a rank's block rows into one message per destination.
+//                Reductions and child contributions for block k+1 are in
+//                flight while block k computes — within a front and,
+//                through the per-block extend-add routing, up the tree.
+//
+// The solutions are bitwise identical across the two schedules (and under
+// an active FaultPlan); they differ only in virtual time, idle wait, and
+// message counts, surfaced through DistSolveResult::run.
 #pragma once
 
 #include <vector>
@@ -22,6 +41,18 @@
 #include "support/status.h"
 
 namespace parfact {
+
+/// Scheduling knobs of the distributed solve.
+struct DistSolveConfig {
+  enum class Schedule {
+    kBlocking,   ///< full-width messages, blocking receives (baseline)
+    kPipelined,  ///< per-RHS-block messages on the request layer
+  };
+  Schedule schedule = Schedule::kPipelined;
+  /// Right-hand-side columns per pipeline stage. Both schedules compute on
+  /// this block partition — identical arithmetic, different messaging.
+  index_t rhs_block = 8;
+};
 
 struct DistSolveResult {
   /// Solution, n x nrhs column-major (postordered index space). Meaningful
@@ -41,13 +72,13 @@ struct DistSolveResult {
     const SymbolicFactor& sym, const FrontMap& map,
     const CholeskyFactor& factor, const std::vector<real_t>& b, index_t nrhs,
     const mpsim::MachineModel& model = {},
-    const mpsim::FaultPlan& faults = {});
+    const mpsim::FaultPlan& faults = {}, const DistSolveConfig& config = {});
 
 /// Non-throwing variant: failures land in `result.status`.
 [[nodiscard]] DistSolveResult distributed_solve_checked(
     const SymbolicFactor& sym, const FrontMap& map,
     const CholeskyFactor& factor, const std::vector<real_t>& b, index_t nrhs,
     const mpsim::MachineModel& model = {},
-    const mpsim::FaultPlan& faults = {});
+    const mpsim::FaultPlan& faults = {}, const DistSolveConfig& config = {});
 
 }  // namespace parfact

@@ -22,6 +22,9 @@ real_t norm1(const std::vector<real_t>& v) {
 real_t estimate_inverse_norm1(const CholeskyFactor& factor) {
   const index_t n = factor.symbolic().n;
   PARFACT_CHECK(n > 0);
+  // One schedule serves every solve of the power iteration.
+  const SolveSchedule schedule(factor.symbolic());
+  SolveWorkspace workspace;
   std::vector<real_t> x(static_cast<std::size_t>(n),
                         1.0 / static_cast<real_t>(n));
   std::vector<real_t> z;
@@ -30,14 +33,16 @@ real_t estimate_inverse_norm1(const CholeskyFactor& factor) {
 
   for (int iter = 0; iter < 5; ++iter) {
     // y = A⁻¹ x.
-    solve_in_place(factor, MatrixView{x.data(), n, 1, n});
+    solve_in_place(factor, MatrixView{x.data(), n, 1, n}, schedule,
+                   workspace);
     estimate = std::max(estimate, norm1(x));
     // xi = sign(y); z = A⁻ᵀ xi = A⁻¹ xi (A symmetric).
     z.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i) {
       z[i] = x[i] >= 0.0 ? 1.0 : -1.0;
     }
-    solve_in_place(factor, MatrixView{z.data(), n, 1, n});
+    solve_in_place(factor, MatrixView{z.data(), n, 1, n}, schedule,
+                   workspace);
     // Pick the coordinate with the largest |z| as the next probe.
     index_t j = 0;
     for (index_t i = 1; i < n; ++i) {
@@ -56,7 +61,8 @@ real_t estimate_inverse_norm1(const CholeskyFactor& factor) {
     probe[i] = (i % 2 == 0 ? 1.0 : -1.0) *
                (1.0 + static_cast<real_t>(i) / (n > 1 ? n - 1 : 1));
   }
-  solve_in_place(factor, MatrixView{probe.data(), n, 1, n});
+  solve_in_place(factor, MatrixView{probe.data(), n, 1, n}, schedule,
+                 workspace);
   const real_t alt = 2.0 * norm1(probe) / (3.0 * static_cast<real_t>(n));
   return std::max(estimate, alt);
 }

@@ -4,24 +4,56 @@
 // (the api module composes the fill-reducing permutation and the postorder
 // for callers working in original coordinates). Right-hand sides are dense
 // n x nrhs column-major blocks.
+//
+// There is exactly one sweep implementation: the schedule-driven engine.
+// It processes right-hand sides in fixed-width blocks of
+// schedule.rhs_block columns (each factor panel is streamed once per
+// block), pulls forward updates through the schedule's precomputed plans
+// into a reusable workspace arena, and optionally runs the tree-parallel
+// task/level partition on a ThreadPool — with results bitwise-identical
+// to the serial sweep (see solve_schedule.h for why). The legacy
+// signatures below build a transient schedule and forward to the engine.
 #pragma once
 
 #include <span>
 
 #include "dense/matrix_view.h"
 #include "mf/factor.h"
+#include "solve/solve_schedule.h"
 #include "sparse/sparse_matrix.h"
 #include "support/types.h"
 
 namespace parfact {
 
-/// x := L⁻¹ x (forward substitution through the supernode panels).
+class ThreadPool;
+
+/// x := L⁻¹ x through the precomputed schedule. `pool == nullptr` (or a
+/// one-worker pool) runs the serial postorder sweep; otherwise independent
+/// subtrees run as tasks and the top of the tree level-by-level, bitwise
+/// identical to serial.
+void forward_solve(const CholeskyFactor& factor, MatrixView x,
+                   const SolveSchedule& schedule, SolveWorkspace& workspace,
+                   ThreadPool* pool = nullptr);
+
+/// x := L⁻ᵀ x (backward substitution) through the schedule.
+void backward_solve(const CholeskyFactor& factor, MatrixView x,
+                    const SolveSchedule& schedule, SolveWorkspace& workspace,
+                    ThreadPool* pool = nullptr);
+
+/// x := D⁻¹ x for LDLᵀ factors (no-op for plain Cholesky).
+void diagonal_solve(const CholeskyFactor& factor, MatrixView x);
+
+/// x := A⁻¹ x: forward, (diagonal,) backward — per RHS block, so each
+/// factor panel is read once per schedule.rhs_block right-hand sides.
+void solve_in_place(const CholeskyFactor& factor, MatrixView x,
+                    const SolveSchedule& schedule, SolveWorkspace& workspace,
+                    ThreadPool* pool = nullptr);
+
+/// Legacy single-shot entry points: build a transient schedule and run the
+/// engine serially. Prefer the schedule-taking overloads when solving more
+/// than once against the same factor.
 void forward_solve(const CholeskyFactor& factor, MatrixView x);
-
-/// x := L⁻ᵀ x (backward substitution).
 void backward_solve(const CholeskyFactor& factor, MatrixView x);
-
-/// x := A⁻¹ x via forward then backward solve.
 void solve_in_place(const CholeskyFactor& factor, MatrixView x);
 
 /// Componentwise-scaled relative residual ‖b − A x‖∞ / (‖A‖∞ ‖x‖∞ + ‖b‖∞)
@@ -37,12 +69,34 @@ struct RefinementResult {
 
 /// Classical iterative refinement: repeatedly solve A d = r and update x
 /// until the relative residual drops below `tol` or `max_iterations` is hit.
-/// `x` must already hold the initial solve's result.
+/// `x` must already hold the initial solve's result. Each iteration costs
+/// one SpMV: the residual r = b − A x is computed once and both its norm
+/// and the correction right-hand side derive from it.
 RefinementResult iterative_refinement(const SparseMatrix& lower_a,
                                       const CholeskyFactor& factor,
                                       std::span<const real_t> b,
                                       std::span<real_t> x,
                                       int max_iterations = 5,
                                       real_t tol = 1e-14);
+
+/// Schedule-reusing variant for serving paths that refine repeatedly.
+RefinementResult iterative_refinement(const SparseMatrix& lower_a,
+                                      const CholeskyFactor& factor,
+                                      std::span<const real_t> b,
+                                      std::span<real_t> x,
+                                      const SolveSchedule& schedule,
+                                      SolveWorkspace& workspace,
+                                      ThreadPool* pool,
+                                      int max_iterations = 5,
+                                      real_t tol = 1e-14);
+
+/// Batched refinement: `passes` correction sweeps over the n x nrhs blocks
+/// `b`/`x` (one SpMV per column per pass, one blocked solve per pass),
+/// then returns the worst per-column relative residual. passes == 0 only
+/// measures.
+real_t refine_block(const SparseMatrix& lower_a, const CholeskyFactor& factor,
+                    ConstMatrixView b, MatrixView x,
+                    const SolveSchedule& schedule, SolveWorkspace& workspace,
+                    ThreadPool* pool, int passes);
 
 }  // namespace parfact

@@ -1,0 +1,408 @@
+// Property tests for the schedule-driven solve engine: schedule structure
+// invariants, bitwise identity of threaded vs serial sweeps, identity of the
+// engine with the push-based reference sweep, batch-vs-loop identity at the
+// Solver level, and batch refinement/throughput reporting.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/solver.h"
+#include "dense/kernels.h"
+#include "mf/multifrontal.h"
+#include "solve/solve.h"
+#include "solve/solve_schedule.h"
+#include "sparse/gen.h"
+#include "sparse/ops.h"
+#include "support/prng.h"
+#include "support/thread_pool.h"
+
+namespace parfact {
+namespace {
+
+std::vector<real_t> random_rhs(index_t n, index_t nrhs, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<real_t> b(static_cast<std::size_t>(n) * nrhs);
+  for (auto& v : b) v = rng.next_real(-1, 1);
+  return b;
+}
+
+/// Push-based reference sweep: the textbook scatter formulation the engine
+/// replaced. Full-width (one RHS block), serial postorder.
+void reference_solve(const CholeskyFactor& factor, MatrixView x) {
+  const SymbolicFactor& sym = factor.symbolic();
+  std::vector<real_t> gathered;
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const ConstMatrixView panel = factor.panel(s);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    trsm_left_lower(panel.block(0, 0, p, p), x1);
+    if (b == 0) continue;
+    gathered.assign(static_cast<std::size_t>(b) * x.cols, 0.0);
+    MatrixView t{gathered.data(), b, x.cols, b};
+    gemm_nn_update(t, panel.block(p, 0, b, p), x1);  // t = -L21 x1
+    const auto rows = sym.below_rows(s);
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < b; ++i) x.at(rows[i], c) += t.at(i, c);
+    }
+  }
+  if (factor.is_ldlt()) {
+    const std::span<const real_t> d = factor.diag();
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < x.rows; ++i) x.at(i, c) /= d[i];
+    }
+  }
+  for (index_t s = sym.n_supernodes - 1; s >= 0; --s) {
+    const index_t p = sym.sn_cols(s);
+    const index_t b = sym.sn_below(s);
+    const ConstMatrixView panel = factor.panel(s);
+    MatrixView x1 = x.block(sym.sn_start[s], 0, p, x.cols);
+    if (b > 0) {
+      const auto rows = sym.below_rows(s);
+      gathered.resize(static_cast<std::size_t>(b) * x.cols);
+      MatrixView t{gathered.data(), b, x.cols, b};
+      for (index_t c = 0; c < x.cols; ++c) {
+        for (index_t i = 0; i < b; ++i) t.at(i, c) = x.at(rows[i], c);
+      }
+      gemm_tn_update(x1, panel.block(p, 0, b, p), t);  // x1 -= L21ᵀ t
+    }
+    trsm_left_lower_trans(panel.block(0, 0, p, p), x1);
+  }
+}
+
+struct EngineCase {
+  FactorKind kind;
+  index_t nrhs;
+  int threads;
+};
+
+SparseMatrix test_matrix(FactorKind kind) {
+  return kind == FactorKind::kCholesky ? grid_laplacian_2d(17, 15)
+                                       : saddle_point_kkt(140, 60, 4, 5);
+}
+
+class SolveEngineTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(SolveEngineTest, ThreadedBitwiseEqualsSerial) {
+  const auto [kind, nrhs, threads] = GetParam();
+  const SparseMatrix a = test_matrix(kind);
+  const SymbolicFactor sym = analyze(a);
+  const CholeskyFactor factor = multifrontal_factor(sym, nullptr, kind);
+
+  // A small RHS block so multi-RHS cases exercise the blocked loop, and a
+  // small task threshold so the tree actually splits into tasks + levels.
+  SolveScheduleOptions opts;
+  opts.rhs_block = 7;
+  opts.task_work = 2'000;
+  const SolveSchedule schedule(sym, opts);
+  SolveWorkspace workspace;
+
+  const std::vector<real_t> b = random_rhs(sym.n, nrhs, 21);
+  std::vector<real_t> x_serial = b;
+  solve_in_place(factor, MatrixView{x_serial.data(), sym.n, nrhs, sym.n},
+                 schedule, workspace);
+
+  ThreadPool pool(threads);
+  std::vector<real_t> x_par = b;
+  solve_in_place(factor, MatrixView{x_par.data(), sym.n, nrhs, sym.n},
+                 schedule, workspace, &pool);
+
+  for (std::size_t i = 0; i < x_serial.size(); ++i) {
+    ASSERT_EQ(x_par[i], x_serial[i]) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SolveEngineTest,
+    ::testing::Values(EngineCase{FactorKind::kCholesky, 1, 2},
+                      EngineCase{FactorKind::kCholesky, 3, 8},
+                      EngineCase{FactorKind::kCholesky, 16, 2},
+                      EngineCase{FactorKind::kCholesky, 16, 8},
+                      EngineCase{FactorKind::kLdlt, 1, 8},
+                      EngineCase{FactorKind::kLdlt, 3, 2},
+                      EngineCase{FactorKind::kLdlt, 16, 8},
+                      EngineCase{FactorKind::kCholesky, 5, 1},
+                      EngineCase{FactorKind::kLdlt, 5, 1}));
+
+TEST(SolveSchedule, PartitionsAndPlansAreExact) {
+  const SparseMatrix a = grid_laplacian_2d(19, 18, 9);
+  const SymbolicFactor sym = analyze(a);
+  // Low enough that the tree splits into many subtree tasks plus several
+  // top levels on this mesh.
+  SolveScheduleOptions opts;
+  opts.task_work = 300;
+  const SolveSchedule schedule(sym, opts);
+
+  // Tasks are contiguous ranges; tasks + levels cover every supernode
+  // exactly once.
+  std::vector<int> seen(static_cast<std::size_t>(sym.n_supernodes), 0);
+  for (index_t t = 0; t < schedule.n_tasks(); ++t) {
+    ASSERT_LE(schedule.task_first[t], schedule.task_root[t]);
+    for (index_t s = schedule.task_first[t]; s <= schedule.task_root[t]; ++s) {
+      seen[s] += 1;
+    }
+  }
+  ASSERT_GT(schedule.n_levels(), 0);  // this tree is deep enough to split
+  for (index_t l = 0; l < schedule.n_levels(); ++l) {
+    for (index_t k = schedule.level_ptr[l]; k < schedule.level_ptr[l + 1];
+         ++k) {
+      seen[schedule.level_sn[k]] += 1;
+    }
+  }
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    EXPECT_EQ(seen[s], 1) << "supernode " << s;
+  }
+
+  // Within a level no supernode is an ancestor of another (levels are
+  // processed with a barrier in between but no ordering inside).
+  for (index_t l = 0; l < schedule.n_levels(); ++l) {
+    for (index_t k = schedule.level_ptr[l]; k < schedule.level_ptr[l + 1];
+         ++k) {
+      index_t anc = sym.sn_parent[schedule.level_sn[k]];
+      while (anc != kNone) {
+        for (index_t j = schedule.level_ptr[l]; j < schedule.level_ptr[l + 1];
+             ++j) {
+          ASSERT_NE(schedule.level_sn[j], anc);
+        }
+        anc = sym.sn_parent[anc];
+      }
+    }
+  }
+
+  // Forward pull plan: every below entry of every supernode is pulled by
+  // exactly one ancestor, into that ancestor's panel rows, ascending in
+  // source supernode.
+  std::vector<int> pulled(sym.sn_rows.size(), 0);
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    index_t prev_src = -1;
+    for (index_t k = schedule.in_ptr[s]; k < schedule.in_ptr[s + 1]; ++k) {
+      const auto& inc = schedule.in[k];
+      ASSERT_GT(inc.hi, inc.lo);
+      ASSERT_GE(inc.src, prev_src);
+      prev_src = inc.src;
+      for (index_t g = inc.lo; g < inc.hi; ++g) {
+        pulled[g] += 1;
+        const index_t row = sym.sn_rows[g];
+        ASSERT_GE(row, sym.sn_start[s]);
+        ASSERT_LT(row, sym.sn_start[s + 1]);
+        ASSERT_EQ(sym.sn_of[row], s);
+        // The segment really belongs to the claimed source supernode.
+        ASSERT_GE(g, sym.sn_row_ptr[inc.src]);
+        ASSERT_LT(g, sym.sn_row_ptr[inc.src + 1]);
+      }
+    }
+  }
+  for (std::size_t g = 0; g < pulled.size(); ++g) {
+    EXPECT_EQ(pulled[g], 1) << "below entry " << g;
+  }
+
+  // Backward gather runs reconstruct below_rows exactly.
+  for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    std::vector<index_t> rebuilt(static_cast<std::size_t>(sym.sn_below(s)),
+                                 kNone);
+    for (index_t k = schedule.run_ptr[s]; k < schedule.run_ptr[s + 1]; ++k) {
+      const auto& run = schedule.runs[k];
+      for (index_t i = 0; i < run.len; ++i) {
+        ASSERT_LT(run.dst + i, sym.sn_below(s));
+        rebuilt[run.dst + i] = run.row + i;
+      }
+    }
+    const auto rows = sym.below_rows(s);
+    for (index_t i = 0; i < sym.sn_below(s); ++i) {
+      ASSERT_EQ(rebuilt[i], rows[i]) << "sn " << s << " row " << i;
+    }
+  }
+}
+
+TEST(SolveEngine, MatchesPushReferenceBitwise) {
+  for (const FactorKind kind : {FactorKind::kCholesky, FactorKind::kLdlt}) {
+    const SparseMatrix a = test_matrix(kind);
+    const SymbolicFactor sym = analyze(a);
+    const CholeskyFactor factor = multifrontal_factor(sym, nullptr, kind);
+    const index_t nrhs = 4;
+    const std::vector<real_t> b = random_rhs(sym.n, nrhs, 3);
+
+    std::vector<real_t> x_ref = b;
+    reference_solve(factor, MatrixView{x_ref.data(), sym.n, nrhs, sym.n});
+
+    // Full-width block: the engine then runs the same kernel shapes in the
+    // same order as the push reference, so the identity is bitwise.
+    SolveScheduleOptions opts;
+    opts.rhs_block = nrhs;
+    const SolveSchedule schedule(sym, opts);
+    SolveWorkspace workspace;
+    std::vector<real_t> x_eng = b;
+    solve_in_place(factor, MatrixView{x_eng.data(), sym.n, nrhs, sym.n},
+                   schedule, workspace);
+    for (std::size_t i = 0; i < x_ref.size(); ++i) {
+      ASSERT_EQ(x_eng[i], x_ref[i]) << "entry " << i;
+    }
+
+    // Legacy wrapper == engine with a transient full-width schedule.
+    std::vector<real_t> x_legacy = b;
+    solve_in_place(factor, MatrixView{x_legacy.data(), sym.n, nrhs, sym.n});
+    for (std::size_t i = 0; i < x_ref.size(); ++i) {
+      ASSERT_EQ(x_legacy[i], x_ref[i]) << "entry " << i;
+    }
+  }
+}
+
+TEST(SolveEngine, WorkspaceReuseIsIdempotent) {
+  const SparseMatrix a = grid_laplacian_3d(7, 6, 5);
+  const SymbolicFactor sym = analyze(a);
+  const CholeskyFactor factor = multifrontal_factor(sym);
+  SolveScheduleOptions opts;
+  opts.rhs_block = 3;
+  const SolveSchedule schedule(sym, opts);
+  SolveWorkspace workspace;
+
+  const std::vector<real_t> b = random_rhs(sym.n, 8, 13);
+  std::vector<real_t> x1 = b;
+  solve_in_place(factor, MatrixView{x1.data(), sym.n, 8, sym.n}, schedule,
+                 workspace);
+  // Second solve reuses the (dirty) arena; contents must not leak through.
+  std::vector<real_t> x2 = b;
+  solve_in_place(factor, MatrixView{x2.data(), sym.n, 8, sym.n}, schedule,
+                 workspace);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_EQ(x2[i], x1[i]) << "entry " << i;
+  }
+}
+
+TEST(SolveEngine, ScheduleRefinementConverges) {
+  const SparseMatrix a = elasticity_3d(4, 4, 3);
+  const SymbolicFactor sym = analyze(a);
+  const CholeskyFactor factor = multifrontal_factor(sym);
+  const SolveSchedule schedule(sym);
+  SolveWorkspace workspace;
+  const std::vector<real_t> b = random_rhs(sym.n, 1, 17);
+  std::vector<real_t> x = b;
+  solve_in_place(factor, MatrixView{x.data(), sym.n, 1, sym.n}, schedule,
+                 workspace);
+  const RefinementResult r = iterative_refinement(
+      sym.a, factor, b, x, schedule, workspace, /*pool=*/nullptr);
+  EXPECT_LE(r.residual, 1e-13);
+}
+
+// --- Solver-facade contracts. ---
+
+SparseMatrix solver_matrix() { return grid_laplacian_2d(16, 14); }
+
+TEST(SolverBatch, SolveIsSolveMultiWithOneColumn) {
+  Solver solver;
+  const SparseMatrix a = solver_matrix();
+  solver.analyze(a);
+  ASSERT_TRUE(solver.factorize().ok());
+  const std::vector<real_t> b = random_rhs(a.rows, 1, 23);
+  const std::vector<real_t> x1 = solver.solve(b);
+  const std::vector<real_t> x2 = solver.solve_multi(b, 1);
+  ASSERT_EQ(x1.size(), x2.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_EQ(x1[i], x2[i]) << "entry " << i;
+  }
+}
+
+TEST(SolverBatch, BatchEqualsMultiOnSameBlockPartition) {
+  SolverOptions options;
+  options.solve_rhs_block = 4;
+  options.batch_refinement_passes = 0;
+  Solver solver(options);
+  const SparseMatrix a = solver_matrix();
+  solver.analyze(a);
+  ASSERT_TRUE(solver.factorize().ok());
+  const index_t nrhs = 10;  // blocks of 4, 4, 2
+  const std::vector<real_t> b = random_rhs(a.rows, nrhs, 29);
+  const std::vector<real_t> xm = solver.solve_multi(b, nrhs);
+  const std::vector<real_t> xb = solver.solve_batch(b, nrhs);
+  ASSERT_EQ(xb.size(), xm.size());
+  for (std::size_t i = 0; i < xm.size(); ++i) {
+    ASSERT_EQ(xb[i], xm[i]) << "entry " << i;
+  }
+}
+
+TEST(SolverBatch, WidthOneBatchEqualsSolveLoop) {
+  SolverOptions options;
+  options.solve_rhs_block = 1;
+  options.batch_refinement_passes = 0;
+  Solver solver(options);
+  const SparseMatrix a = solver_matrix();
+  solver.analyze(a);
+  ASSERT_TRUE(solver.factorize().ok());
+  const index_t nrhs = 5;
+  const std::vector<real_t> b = random_rhs(a.rows, nrhs, 31);
+  const std::vector<real_t> xb = solver.solve_batch(b, nrhs);
+  const std::size_t n = static_cast<std::size_t>(a.rows);
+  for (index_t r = 0; r < nrhs; ++r) {
+    const std::vector<real_t> xr = solver.solve(
+        std::span<const real_t>(b.data() + static_cast<std::size_t>(r) * n,
+                                n));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(xb[static_cast<std::size_t>(r) * n + i], xr[i])
+          << "rhs " << r << " entry " << i;
+    }
+  }
+}
+
+TEST(SolverBatch, AccumulatorMatchesBatchAndReportsThroughput) {
+  Solver solver;
+  const SparseMatrix a = solver_matrix();
+  solver.analyze(a);
+  ASSERT_TRUE(solver.factorize().ok());
+  const index_t nrhs = 6;
+  const std::vector<real_t> b = random_rhs(a.rows, nrhs, 37);
+  const std::vector<real_t> xb = solver.solve_batch(b, nrhs);
+
+  SolveBatch batch(solver);
+  const std::size_t n = static_cast<std::size_t>(a.rows);
+  for (index_t r = 0; r < nrhs; ++r) {
+    ASSERT_EQ(batch.add(std::span<const real_t>(
+                  b.data() + static_cast<std::size_t>(r) * n, n)),
+              r);
+  }
+  batch.solve();
+  ASSERT_EQ(batch.size(), nrhs);
+  for (index_t r = 0; r < nrhs; ++r) {
+    const auto xr = batch.solution(r);
+    ASSERT_EQ(xr.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(xr[i], xb[static_cast<std::size_t>(r) * n + i])
+          << "rhs " << r << " entry " << i;
+    }
+  }
+
+  const SolverReport& report = solver.report();
+  EXPECT_EQ(report.batch_rhs, nrhs);
+  EXPECT_GT(report.batch_solves_per_second, 0.0);
+  EXPECT_GT(report.batch_bytes_per_solve, 0.0);
+  EXPECT_LE(report.batch_residual, 1e-12);  // one refinement pass (default)
+}
+
+TEST(SolverBatch, ThreadedSolverBitwiseEqualsSerialSolver) {
+  const SparseMatrix a = grid_laplacian_2d(21, 19, 9);
+  // Pin the ordering: the parallel nested dissection produces a different
+  // (equal-quality) permutation than the sequential one, which would change
+  // the factor itself. The bitwise contract is about the solve sweeps.
+  SolverOptions serial_opts;
+  serial_opts.ordering = SolverOptions::Ordering::kMinimumDegree;
+  SolverOptions par_opts;
+  par_opts.ordering = SolverOptions::Ordering::kMinimumDegree;
+  par_opts.threads = 4;
+  Solver serial(serial_opts);
+  Solver parallel(par_opts);
+  serial.analyze(a);
+  parallel.analyze(a);
+  ASSERT_TRUE(serial.factorize().ok());
+  ASSERT_TRUE(parallel.factorize().ok());
+  const index_t nrhs = 9;
+  const std::vector<real_t> b = random_rhs(a.rows, nrhs, 41);
+  const std::vector<real_t> xs = serial.solve_multi(b, nrhs);
+  const std::vector<real_t> xp = parallel.solve_multi(b, nrhs);
+  ASSERT_EQ(xs.size(), xp.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(xp[i], xs[i]) << "entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace parfact
