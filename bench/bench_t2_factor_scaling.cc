@@ -3,7 +3,9 @@
 // P = 1 .. 1024 ranks, subtree-to-subcube mapping with 2-D block-cyclic
 // fronts. Times come from the calibrated block-level schedule replay
 // (perf/dag_sim); the schedule itself is validated against real mpsim
-// execution by tests/perf_test.cc.
+// execution by tests/perf_test.cc. Three schedule columns: the default
+// lookahead replay, plus the task-DAG replay (per-panel extend-add floors,
+// mirroring the shared-memory runtime) whose gain is the subject of F10.
 #include <cstdio>
 
 #include "api/solver.h"
@@ -16,23 +18,39 @@ int main() {
   bench::heading("T2: factorization strong scaling (2-D multifrontal)");
   const mpsim::MachineModel model = bench::calibrated_model();
   const int ps[] = {1, 4, 16, 64, 256, 1024};
+  constexpr DistConfig dag_cfg{DistConfig::Schedule::kTaskDag,
+                               DistConfig::ExtendAddFormat::kPacked};
+  bench::JsonEmitter json("t2_factor_scaling");
 
   for (const auto& prob : bench::suite()) {
     const SymbolicFactor sym = analyze_nested_dissection(prob.lower);
     std::printf("\n%-12s (n=%d, %.2f GFLOP)\n", prob.name.c_str(), sym.n,
                 static_cast<double>(sym.total_flops) / 1e9);
-    std::printf("%6s %12s %12s %10s %12s %9s\n", "P", "time [s]", "Gflop/s",
-                "eff", "idle [s]", "overlap");
+    std::printf("%6s %12s %12s %10s %12s %9s %12s\n", "P", "time [s]",
+                "Gflop/s", "eff", "idle [s]", "overlap", "taskdag [s]");
     double t1 = 0.0;
     for (const int p : ps) {
       const FrontMap map =
           build_front_map(sym, p, MappingStrategy::kSubtree2d);
       const PerfResult r = simulate_factor_time(sym, map, model);
+      const PerfResult t = simulate_factor_time(sym, map, model, dag_cfg);
       if (p == 1) t1 = r.makespan;
-      std::printf("%6d %12.4f %12.2f %9.0f%% %12.4f %8.1f%%\n", p, r.makespan,
+      std::printf("%6d %12.4f %12.2f %9.0f%% %12.4f %8.1f%% %12.4f\n", p,
+                  r.makespan,
                   static_cast<double>(sym.total_flops) / r.makespan / 1e9,
                   100.0 * t1 / r.makespan / p, r.idle_wait_seconds,
-                  100.0 * r.overlap_efficiency);
+                  100.0 * r.overlap_efficiency, t.makespan);
+      json.row()
+          .field("matrix", prob.name)
+          .field("n", sym.n)
+          .field("flops", sym.total_flops)
+          .field("ranks", p)
+          .field("time_lookahead_s", r.makespan)
+          .field("time_taskdag_s", t.makespan)
+          .field("efficiency_lookahead", r.efficiency(p))
+          .field("efficiency_taskdag", t.efficiency(p))
+          .field("idle_s", r.idle_wait_seconds)
+          .field("overlap", r.overlap_efficiency);
     }
   }
   return 0;

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dense/kernels.h"
@@ -39,14 +40,96 @@ inline std::vector<TestProblem> suite(double scale_override = -1.0) {
 }
 
 inline mpsim::MachineModel calibrated_model() {
-  mpsim::MachineModel model;
-  model.flop_rate = measure_gemm_rate(192);
+  // The GEMM timing loop costs ~a second; benches that build several
+  // machine models (one per table section) would otherwise re-measure —
+  // and could disagree with each other within one process. Calibrate once.
+  static const mpsim::MachineModel cached = [] {
+    mpsim::MachineModel model;
+    model.flop_rate = measure_gemm_rate(192);
+    return model;
+  }();
   std::printf(
       "# machine model: flop_rate=%.2f Gflop/s (measured), "
       "alpha=%.1f us, bw=%.2f GB/s\n",
-      model.flop_rate / 1e9, model.alpha * 1e6, 1.0 / model.beta / 1e9);
-  return model;
+      cached.flop_rate / 1e9, cached.alpha * 1e6, 1.0 / cached.beta / 1e9);
+  return cached;
 }
+
+/// Machine-readable results sink: accumulates flat records and writes them
+/// as a JSON array of objects to BENCH_<name>.json in the working directory
+/// (flushed on destruction, or explicitly). Keeps the human-readable tables
+/// on stdout as the primary artifact while letting plots and regression
+/// tooling consume the same run without scraping printf output.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+  ~JsonEmitter() { flush(); }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  /// Starts a new record; subsequent field() calls attach to it.
+  JsonEmitter& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  JsonEmitter& field(const char* key, const std::string& v) {
+    std::string out = "\"";
+    for (const char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    rows_.back().emplace_back(key, std::move(out));
+    return *this;
+  }
+  JsonEmitter& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonEmitter& field(const char* key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    rows_.back().emplace_back(key, buf);
+    return *this;
+  }
+  JsonEmitter& field(const char* key, long long v) {
+    rows_.back().emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonEmitter& field(const char* key, int v) {
+    return field(key, static_cast<long long>(v));
+  }
+  JsonEmitter& field(const char* key, count_t v) {
+    return field(key, static_cast<long long>(v));
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "  {");
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     rows_[r][i].first.c_str(), rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("# wrote %s (%zu records)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  bool flushed_ = false;
+};
 
 inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

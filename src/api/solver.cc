@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "mf/multifrontal.h"
 #include "solve/condest.h"
+#include "solve/fused.h"
 #include "solve/solve.h"
 #include "sparse/ops.h"
 #include "support/error.h"
@@ -98,14 +99,58 @@ Status Solver::factorize() {
   pivot.threshold = options_.pivot_threshold;
   if (options_.threads > 1) {
     ThreadPool pool(options_.threads);
-    factor_.emplace(multifrontal_factor_parallel(*sym_, pool, &stats,
-                                                 options_.factor_kind,
-                                                 kCoopFrontFlops, pivot));
+    auto* engine =
+        options_.factor_engine == SolverOptions::FactorEngine::kTwoPhase
+            ? multifrontal_factor_two_phase
+            : multifrontal_factor_parallel;
+    factor_.emplace(engine(*sym_, pool, &stats, options_.factor_kind,
+                           kCoopFrontFlops, pivot));
   } else {
     factor_.emplace(
         multifrontal_factor(*sym_, &stats, options_.factor_kind, pivot));
   }
   build_solve_schedule();
+  report_.factor_seconds = stats.seconds;
+  report_.peak_update_bytes = stats.peak_update_bytes;
+  report_.pivot_perturbations = stats.pivot_perturbations;
+  return Status::success(stats.pivot_perturbations);
+}
+
+Status Solver::factorize_and_solve(std::span<const real_t> b, index_t nrhs,
+                                   std::vector<real_t>& x) {
+  PARFACT_CHECK_MSG(sym_.has_value(), "factorize_and_solve() before analyze()");
+  const index_t n = sym_->n;
+  PARFACT_CHECK(nrhs >= 1);
+  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
+                static_cast<count_t>(n) * nrhs);
+  if (options_.threads <= 1) {
+    const Status status = factorize();
+    x = solve_multi(b, nrhs);
+    return status;
+  }
+
+  FactorStats stats;
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
+  build_solve_schedule();
+
+  // Permute into the postordered space, run the fused graph (factor tasks +
+  // first-block forward-solve tasks), permute the solutions back.
+  std::vector<real_t> pb(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) pb[off + kk] = b[off + total_perm_[kk]];
+  }
+  factor_.emplace(multifrontal_factor_and_solve(
+      *sym_, MatrixView{pb.data(), n, nrhs, n}, *solve_schedule_,
+      solve_workspace_, *solve_pool(), &stats, options_.factor_kind,
+      kCoopFrontFlops, pivot));
+  x.resize(b.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const std::size_t off = static_cast<std::size_t>(c) * n;
+    for (index_t kk = 0; kk < n; ++kk) x[off + total_perm_[kk]] = pb[off + kk];
+  }
   report_.factor_seconds = stats.seconds;
   report_.peak_update_bytes = stats.peak_update_bytes;
   report_.pivot_perturbations = stats.pivot_perturbations;

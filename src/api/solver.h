@@ -41,6 +41,11 @@ struct SolverOptions {
   /// Cholesky for SPD input; LDLᵀ (no pivoting) for symmetric
   /// quasi-definite input such as KKT saddle-point systems.
   FactorKind factor_kind = FactorKind::kCholesky;
+  /// Parallel factorization engine (threads > 1). The task-DAG runtime is
+  /// the default; the static two-phase engine is kept for benchmarking the
+  /// schedules against each other. Both are bitwise identical to serial.
+  enum class FactorEngine { kTaskDag, kTwoPhase };
+  FactorEngine factor_engine = FactorEngine::kTaskDag;
   /// Static pivoting: tiny/non-positive pivots are boosted to
   /// sqrt(eps)·max|A| (sign-preserving for LDLᵀ) instead of aborting the
   /// factorization. The perturbation count is surfaced in the report and
@@ -144,6 +149,17 @@ class Solver {
   Status factorize_distributed(int n_ranks,
                                const mpsim::MachineModel& model = {},
                                const mpsim::FaultPlan& faults = {});
+
+  /// Fused numeric phase + first solve: factorizes and solves the n × nrhs
+  /// column-major right-hand sides `b` in one task graph — forward solves
+  /// on fully factored subtrees overlap the remaining factorization, so
+  /// there is no factor→solve barrier. `x` receives the solutions in the
+  /// caller's original ordering. Results (factor and solutions) are
+  /// bitwise identical to factorize() followed by solve_multi(b, nrhs).
+  /// Requires analyze(). With threads <= 1 this degrades gracefully to the
+  /// serial factorize-then-solve pipeline.
+  Status factorize_and_solve(std::span<const real_t> b, index_t nrhs,
+                             std::vector<real_t>& x);
 
   /// Solves A x = b in the caller's original ordering; requires factorize().
   [[nodiscard]] std::vector<real_t> solve(std::span<const real_t> b) const;

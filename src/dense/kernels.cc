@@ -320,20 +320,11 @@ void syrk_lower_update(MatrixView c, ConstMatrixView a) {
   }
 }
 
-void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool) {
-  PARFACT_CHECK(c.rows == c.cols && c.rows == a.rows);
-  const index_t n = c.rows;
-  const index_t kk = a.cols;
-  const count_t flops = static_cast<count_t>(n) * n * kk;
-  const index_t slabs = slab_count(flops, n, pool);
-  if (slabs <= 1 || !use_engine(n, kk)) {
-    syrk_lower_update(c, a);
-    return;
-  }
+bool syrk_splittable(index_t n, index_t k) { return use_engine(n, k); }
+
+std::vector<index_t> syrk_slab_bounds(index_t n, index_t slabs) {
   // Row slab [r0, r1) owns a rectangle C(r0:r1, 0:r0) plus the diagonal
   // triangle C(r0:r1, r0:r1); a square-root partition balances the flops.
-  // Both pieces run on the packed engine, exactly like the serial call, so
-  // the row split leaves the result bitwise unchanged.
   std::vector<index_t> bound(static_cast<std::size_t>(slabs) + 1, 0);
   for (index_t t = 1; t < slabs; ++t) {
     const double frac = std::sqrt(static_cast<double>(t) / slabs);
@@ -341,17 +332,37 @@ void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool) {
                                    bound[t - 1], n);
   }
   bound[slabs] = n;
+  return bound;
+}
+
+void syrk_lower_update_slab(MatrixView c, ConstMatrixView a, index_t r0,
+                            index_t r1) {
+  // Both pieces run on the packed engine, exactly like the serial call, so
+  // the row split leaves the result bitwise unchanged.
+  if (r0 >= r1) return;
+  const index_t kk = a.cols;
+  const index_t len = r1 - r0;
+  if (r0 > 0) {
+    detail::gemm_packed(c.block(r0, 0, len, r0), a.block(r0, 0, len, kk),
+                        false, a.block(0, 0, r0, kk), false);
+  }
+  detail::syrk_packed_lower(c.block(r0, r0, len, len),
+                            a.block(r0, 0, len, kk));
+}
+
+void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool) {
+  PARFACT_CHECK(c.rows == c.cols && c.rows == a.rows);
+  const index_t n = c.rows;
+  const index_t kk = a.cols;
+  const count_t flops = static_cast<count_t>(n) * n * kk;
+  const index_t slabs = slab_count(flops, n, pool);
+  if (slabs <= 1 || !syrk_splittable(n, kk)) {
+    syrk_lower_update(c, a);
+    return;
+  }
+  const std::vector<index_t> bound = syrk_slab_bounds(n, slabs);
   parallel_for(*pool, 0, slabs, [&](index_t t) {
-    const index_t r0 = bound[t];
-    const index_t r1 = bound[t + 1];
-    if (r0 >= r1) return;
-    const index_t len = r1 - r0;
-    if (r0 > 0) {
-      detail::gemm_packed(c.block(r0, 0, len, r0), a.block(r0, 0, len, kk),
-                          false, a.block(0, 0, r0, kk), false);
-    }
-    detail::syrk_packed_lower(c.block(r0, r0, len, len),
-                              a.block(r0, 0, len, kk));
+    syrk_lower_update_slab(c, a, bound[t], bound[t + 1]);
   });
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "dense/matrix_view.h"
 #include "support/types.h"
@@ -75,6 +76,27 @@ void syrk_lower_update(MatrixView c, ConstMatrixView a);
 /// Pool-parallel variant: row slabs of c (flop-balanced via a square-root
 /// partition of the triangle) update concurrently.
 void syrk_lower_update(MatrixView c, ConstMatrixView a, ThreadPool* pool);
+
+/// True when syrk_lower_update(c, a) with c of order `n` and a with `k`
+/// columns runs on the packed engine and may therefore be split into row
+/// slabs without changing the result bitwise. When false the update must
+/// run as a single serial call (the unpacked fallback's summation order is
+/// not row-partition-invariant).
+[[nodiscard]] bool syrk_splittable(index_t n, index_t k);
+
+/// Flop-balanced ascending row bounds (size slabs+1, bound[0] = 0,
+/// bound[slabs] = n) for splitting a splittable syrk_lower_update into row
+/// slabs: the square-root partition used by the pool variant.
+[[nodiscard]] std::vector<index_t> syrk_slab_bounds(index_t n, index_t slabs);
+
+/// One row slab [r0, r1) of a splittable syrk_lower_update(c, a): the
+/// rectangle C(r0:r1, 0:r0) plus the diagonal triangle C(r0:r1, r0:r1),
+/// both on the packed engine. Running every slab of syrk_slab_bounds — in
+/// any order or concurrently; the writes are disjoint — produces exactly
+/// the serial call's result bit for bit. Shared by the pool variant above
+/// and the task-DAG factorization's update tasks.
+void syrk_lower_update_slab(MatrixView c, ConstMatrixView a, index_t r0,
+                            index_t r1);
 
 /// c := c - a * bᵀ. Dimensions: c is (a.rows x b.rows), a.cols == b.cols.
 void gemm_nt_update(MatrixView c, ConstMatrixView a, ConstMatrixView b);

@@ -11,6 +11,11 @@ struct DistConfig {
   enum class Schedule {
     kBlocking,   ///< fully synchronous right-looking loop (PR 1 behavior)
     kLookahead,  ///< depth-1 panel lookahead with preposted receives
+    kTaskDag,    ///< asynchronous task-DAG replay: extend-add arrivals become
+                 ///< per-panel pipelined floors (no collective assembly
+                 ///< barrier). Replay-only — dist_factor rejects it; it models
+                 ///< the shared-memory runtime's schedule (src/runtime) at
+                 ///< distributed scale for the perf module.
   };
   /// Wire format of the child → parent extend-add contributions.
   enum class ExtendAddFormat {

@@ -833,6 +833,13 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
                                     const mpsim::FaultPlan& faults,
                                     const ResiliencePolicy& resilience,
                                     const DistConfig& config) {
+  // kTaskDag exists only as a replay schedule for the perf module: the real
+  // message-passing engine has no out-of-order task execution, so silently
+  // running kLookahead instead would misreport what was measured.
+  PARFACT_CHECK_MSG(config.schedule != DistConfig::Schedule::kTaskDag,
+                    "DistConfig::Schedule::kTaskDag is replay-only "
+                    "(simulate_factor_time); distributed_factor executes "
+                    "kBlocking or kLookahead");
   validate_resilience_policy(resilience);
   pivot = resolve_pivot_policy(pivot, sym.a);
   DistFactorResult result(sym);

@@ -9,13 +9,11 @@
 
 namespace parfact::detail {
 
-count_t eliminate_front(const SymbolicFactor& sym, index_t s,
-                        const std::vector<std::vector<real_t>>& update_of,
-                        const std::vector<std::vector<index_t>>& children,
-                        MatrixView panel, std::vector<real_t>& update_out,
-                        FrontScratch& scratch, FactorKind kind,
-                        std::span<real_t> d, ThreadPool* pool,
-                        const PivotPolicy& pivot) {
+void assemble_front(const SymbolicFactor& sym, index_t s,
+                    const std::vector<std::vector<real_t>>& update_of,
+                    const std::vector<std::vector<index_t>>& children,
+                    MatrixView panel, std::vector<real_t>& update_out,
+                    FrontScratch& scratch) {
   const index_t p = sym.sn_cols(s);
   const index_t b = sym.sn_below(s);
   const index_t first = sym.sn_start[s];
@@ -30,10 +28,8 @@ count_t eliminate_front(const SymbolicFactor& sym, index_t s,
   for (index_t k = 0; k < p; ++k) local_of[first + k] = k;
   for (index_t t = 0; t < b; ++t) local_of[rows[t]] = p + t;
 
-  // Reset the scratch map on *every* exit path — including exceptions
-  // thrown out of the pool-parallel level-3 kernels — so pooled scratch
-  // objects stay reusable after a failed front (the serial path used to
-  // clean up by hand only on the breakdown branch).
+  // Reset the scratch map on *every* exit path so pooled scratch objects
+  // stay reusable after a failed front.
   struct ScratchGuard {
     std::vector<index_t>& map;
     index_t p, b, first;
@@ -79,8 +75,13 @@ count_t eliminate_front(const SymbolicFactor& sym, index_t s,
       }
     }
   }
+}
 
-  // Partial dense factorization of the front.
+count_t factor_front_diag(const SymbolicFactor& sym, index_t s,
+                          MatrixView panel, FactorKind kind,
+                          std::span<real_t> d, const PivotPolicy& pivot) {
+  const index_t p = sym.sn_cols(s);
+  const index_t first = sym.sn_start[s];
   MatrixView l11 = panel.block(0, 0, p, p);
   PivotBoost boost{pivot.threshold, pivot.value, 0};
   PivotBoost* boost_ptr = pivot.boost ? &boost : nullptr;
@@ -99,10 +100,42 @@ count_t eliminate_front(const SymbolicFactor& sym, index_t s,
                                          : "bad LDLT pivot")
        << " at column " << first + info << " (postordered), supernode " << s
        << " (front order " << sym.front_order(s) << ", " << p << " columns)";
-    throw StatusError(
-        Status::failure(StatusCode::kBreakdown, os.str(), s));
+    throw StatusError(Status::failure(StatusCode::kBreakdown, os.str(), s));
   }
+  return boost.count;
+}
+
+void ldlt_scale_panel(MatrixView l21, std::span<const real_t> d,
+                      index_t first, std::vector<real_t>& m) {
+  const index_t b = l21.rows;
+  const index_t p = l21.cols;
+  m.resize(static_cast<std::size_t>(b) * p);
+  for (index_t k = 0; k < p; ++k) {
+    const real_t dk = d[static_cast<std::size_t>(first + k)];
+    real_t* col = &l21.at(0, k);
+    real_t* mk = m.data() + static_cast<std::size_t>(k) * b;
+    for (index_t i = 0; i < b; ++i) {
+      mk[i] = col[i];
+      col[i] /= dk;
+    }
+  }
+}
+
+count_t eliminate_front(const SymbolicFactor& sym, index_t s,
+                        const std::vector<std::vector<real_t>>& update_of,
+                        const std::vector<std::vector<index_t>>& children,
+                        MatrixView panel, std::vector<real_t>& update_out,
+                        FrontScratch& scratch, FactorKind kind,
+                        std::span<real_t> d, ThreadPool* pool,
+                        const PivotPolicy& pivot) {
+  assemble_front(sym, s, update_of, children, panel, update_out, scratch);
+  const count_t boosted = factor_front_diag(sym, s, panel, kind, d, pivot);
+
+  const index_t p = sym.sn_cols(s);
+  const index_t b = sym.sn_below(s);
   if (b > 0) {
+    MatrixView update{update_out.data(), b, b, b};
+    MatrixView l11 = panel.block(0, 0, p, p);
     MatrixView l21 = panel.block(p, 0, b, p);
     // now holds M = A21 L11^-T = L21 D
     trsm_right_lower_trans(l11, l21, pool);
@@ -111,21 +144,13 @@ count_t eliminate_front(const SymbolicFactor& sym, index_t s,
     } else {
       // Keep M, rescale the stored panel to L21 = M D^-1, and subtract
       // L21 Mᵀ = L21 D L21ᵀ from the Schur complement.
-      std::vector<real_t> m(static_cast<std::size_t>(b) * p);
-      for (index_t k = 0; k < p; ++k) {
-        const real_t dk = d[static_cast<std::size_t>(first + k)];
-        real_t* col = &l21.at(0, k);
-        real_t* mk = m.data() + static_cast<std::size_t>(k) * b;
-        for (index_t i = 0; i < b; ++i) {
-          mk[i] = col[i];
-          col[i] /= dk;
-        }
-      }
+      std::vector<real_t> m;
+      ldlt_scale_panel(l21, d, sym.sn_start[s], m);
       gemm_nt_update(update, l21, ConstMatrixView{m.data(), b, p, b}, pool);
     }
   }
 
-  return boost.count;
+  return boosted;
 }
 
 std::vector<std::vector<index_t>> build_children(const SymbolicFactor& sym) {

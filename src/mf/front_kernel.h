@@ -1,5 +1,8 @@
 // Internal: the single-front assemble/eliminate kernel shared by the
-// in-core, out-of-core and shared-memory multifrontal drivers.
+// in-core, out-of-core and shared-memory multifrontal drivers, split into
+// its pipeline stages so the task-DAG engine (dag_factor.h) can schedule
+// them as separate graph nodes. eliminate_front recomposes the stages and
+// is bitwise identical to the historical monolithic kernel.
 #pragma once
 
 #include <span>
@@ -19,6 +22,35 @@ struct FrontScratch {
       : local_of(static_cast<std::size_t>(n), kNone) {}
 };
 
+/// Stage 1 — assembly: zeroes `update_out` (resized to b x b), scatters the
+/// original matrix columns of supernode s into `panel`, then extend-adds
+/// the children's update blocks *in fixed child order* (the deterministic-
+/// merge discipline: the summation order per element never depends on the
+/// execution schedule). Children's blocks are read, not freed. The scratch
+/// map is restored on every exit path.
+void assemble_front(const SymbolicFactor& sym, index_t s,
+                    const std::vector<std::vector<real_t>>& update_of,
+                    const std::vector<std::vector<index_t>>& children,
+                    MatrixView panel, std::vector<real_t>& update_out,
+                    FrontScratch& scratch);
+
+/// Stage 2 — diagonal-block factorization: POTRF (Cholesky) or LDLᵀ of the
+/// leading p x p block of `panel`; in LDLᵀ mode writes diag(D) for this
+/// supernode's columns into `d`. Returns the number of pivots boosted under
+/// `pivot` (0 with boosting off). On an unrecoverable pivot throws
+/// StatusError carrying StatusCode::kBreakdown with the supernode id and
+/// front size.
+count_t factor_front_diag(const SymbolicFactor& sym, index_t s,
+                          MatrixView panel, FactorKind kind,
+                          std::span<real_t> d, const PivotPolicy& pivot);
+
+/// Stage 3b (LDLᵀ only, after the panel TRSM): copies M = L21 D out of the
+/// panel into `m` (b x p column-major) and rescales the stored panel to
+/// L21 = M D⁻¹. `first` is the supernode's first postordered column (the
+/// offset of its pivots in `d`).
+void ldlt_scale_panel(MatrixView l21, std::span<const real_t> d,
+                      index_t first, std::vector<real_t>& m);
+
 /// Assembles and partially factorizes the front of supernode s; returns the
 /// number of pivots boosted by `pivot` (always 0 with boosting off).
 ///
@@ -26,11 +58,7 @@ struct FrontScratch {
 /// trailing Schur complement is written into `update_out`. Children's update
 /// blocks are consumed (extend-add) but not freed here. In LDLᵀ mode `d`
 /// receives diag(D) for this supernode's columns and the panel holds the
-/// unit-diagonal L. On an unrecoverable pivot (non-finite, or breakdown
-/// with boosting off) throws StatusError carrying StatusCode::kBreakdown
-/// with the supernode id and front size; the scratch map is restored on
-/// every exit path, so pooled scratch objects stay reusable even when a
-/// parallel-engine task throws.
+/// unit-diagonal L. Breakdown behaviour is factor_front_diag's.
 ///
 /// When `pool` is non-null the TRSM and trailing SYRK/GEMM split their row
 /// range across the pool's workers (intra-front parallelism for the large

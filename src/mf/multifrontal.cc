@@ -61,12 +61,12 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
   return factor;
 }
 
-CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
-                                            ThreadPool& pool,
-                                            FactorStats* stats,
-                                            FactorKind kind,
-                                            count_t coop_flops,
-                                            PivotPolicy pivot) {
+CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
+                                             ThreadPool& pool,
+                                             FactorStats* stats,
+                                             FactorKind kind,
+                                             count_t coop_flops,
+                                             PivotPolicy pivot) {
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   std::atomic<count_t> perturbations{0};

@@ -58,16 +58,27 @@ struct PivotPolicy {
 /// vanishes, small enough that the top of a 3-D assembly tree is covered.
 inline constexpr count_t kCoopFrontFlops = 20'000'000;
 
-/// Shared-memory parallel multifrontal factorization, the in-core analogue
-/// of the paper's subtree-to-subcube mapping: maximal subtrees made of
-/// "light" fronts (< `coop_flops` each) run as independent supernode tasks
-/// (tree parallelism), while the remaining top-of-tree fronts — where tree
-/// parallelism has run out but most flops live — are processed one at a
-/// time with every worker cooperating on the front's row range
-/// (intra-front parallelism). Extend-add order is fixed by child index and
-/// the parallel kernels are bitwise identical to the serial ones, so the
-/// factor matches multifrontal_factor exactly, independent of thread count.
+/// Shared-memory parallel multifrontal factorization on the task-DAG
+/// runtime (src/runtime): every front becomes either one fused elimination
+/// task (fronts below `coop_flops`) or an assemble → POTRF → TRSM-slab →
+/// update-slab pipeline, and the whole tree runs as a single dependency
+/// graph under the work-stealing scheduler with critical-path priorities —
+/// no phase barrier between tree-parallel subtrees and the top-of-tree
+/// fronts. Extend-add order is fixed by child index and every slab kernel
+/// is bitwise identical to its serial counterpart, so the factor matches
+/// multifrontal_factor exactly, independent of thread count and schedule.
 [[nodiscard]] CholeskyFactor multifrontal_factor_parallel(
+    const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
+    FactorKind kind = FactorKind::kCholesky,
+    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {});
+
+/// The pre-runtime static engine, kept as the task-DAG engine's benchmark
+/// baseline (bench_f10): maximal subtrees of "light" fronts (< `coop_flops`
+/// each) run as independent supernode tasks, then a barrier, then the
+/// remaining top-of-tree fronts are processed one at a time with every
+/// worker cooperating on the front's row range. Bitwise identical to
+/// multifrontal_factor as well.
+[[nodiscard]] CholeskyFactor multifrontal_factor_two_phase(
     const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
     FactorKind kind = FactorKind::kCholesky,
     count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {});

@@ -1,6 +1,7 @@
 #include "perf/dag_sim.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "dist/front_blocks.h"
@@ -101,6 +102,7 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
   Clocks clk(p);
   const index_t ns = sym.n_supernodes;
   const bool lookahead = config.schedule == DistConfig::Schedule::kLookahead;
+  const bool taskdag = config.schedule == DistConfig::Schedule::kTaskDag;
   // Wire + staging bytes per extend-add entry: {row, col, value} triple or
   // packed dense value (the index header is implicit; see extend_add.h).
   const double ea_entry_bytes =
@@ -142,7 +144,12 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
 
     // Extend-add: every rank of each child sends its share of the child's
     // update entries to every parent rank (matching dist_factor's uniform
-    // scheme; shares modeled as uniform).
+    // scheme; shares modeled as uniform). The task-DAG replay does not stall
+    // here: each child contributes an arrival *ramp* (base, slope) and the
+    // factorization loop below stalls each panel only on the prefix of the
+    // contribution stream its columns need — assembly of block column kb is
+    // a dependency of POTRF(kb), not a front-wide barrier.
+    std::vector<std::pair<double, double>> ea_ramp;  // taskdag: base, slope
     for (index_t c : children[s]) {
       const int cr0 = map.rank_begin[c];
       const int cnp = map.rank_count[c];
@@ -177,8 +184,12 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
         const double arrival = latest_send + merge_rounds *
                                                  (model.alpha +
                                                   share_bytes * model.beta);
+        if (taskdag) {
+          ea_ramp.emplace_back(latest_send + merge_rounds * model.alpha,
+                               merge_rounds * share_bytes * model.beta);
+        }
         for (int dst = 0; dst < np; ++dst) {
-          clk.stall_until(r0 + dst, arrival);
+          if (!taskdag) clk.stall_until(r0 + dst, arrival);
           clk.t[r0 + dst] += share_bytes * cnp / np / model.mem_rate +
                              share_bytes / model.mem_rate;
         }
@@ -253,7 +264,59 @@ PerfResult simulate_factor_time(const SymbolicFactor& sym, const FrontMap& map,
       }
     };
 
-    if (!lookahead) {
+    // Fraction of each child's contribution stream that block columns
+    // 0..kb depend on, modeled as a linear prefix of the pipelined merge;
+    // frac = 1 reproduces the full arrival the other schedules stall on
+    // collectively, so the task-DAG floors never exceed that barrier.
+    auto ea_floor = [&](double frac) {
+      double f = 0.0;
+      for (const auto& [base, slope] : ea_ramp) {
+        f = std::max(f, base + frac * slope);
+      }
+      return f;
+    };
+    // Assembly of block column kb gates POTRF(kb): stall only the grid
+    // column that owns the panel, and only on the prefix it needs.
+    auto stall_panel_column = [&](index_t kb) {
+      const double floor =
+          ea_floor(static_cast<double>(kb + 1) / static_cast<double>(fb.nB));
+      const int kbc = static_cast<int>(kb) % pc;
+      for (int ri = 0; ri < pr; ++ri) {
+        clk.stall_until(r0 + kbc * pr + ri, floor);
+      }
+    };
+
+    if (taskdag) {
+      // Task-DAG replay: same depth-1 panel pipelining as kLookahead inside
+      // the front, but extend-add arrivals are consumed per panel via the
+      // ramp floors instead of one collective assembly barrier — matching
+      // the shared-memory runtime, where ASM(s) → POTRF(kb) edges are
+      // per-front tasks that commute with unrelated panels' updates.
+      if (fb.kp > 0) {
+        std::vector<double> cur_arr(static_cast<std::size_t>(used), 0.0);
+        std::vector<double> next_arr(static_cast<std::size_t>(used), 0.0);
+        stall_panel_column(0);
+        factor_col(0, &cur_arr);
+        for (index_t kb = 0; kb < fb.kp; ++kb) {
+          for (int lr = 0; lr < used; ++lr) {
+            clk.stall_until(r0 + lr, cur_arr[static_cast<std::size_t>(lr)]);
+            cur_arr[static_cast<std::size_t>(lr)] = 0.0;
+          }
+          update_cols(kb, kb + 1, std::min<index_t>(kb + 2, fb.nB));
+          if (kb + 1 < fb.kp) {
+            stall_panel_column(kb + 1);
+            factor_col(kb + 1, &next_arr);
+          }
+          update_cols(kb, kb + 2, fb.nB);
+          std::swap(cur_arr, next_arr);
+        }
+      }
+      // Every extend-add byte must have landed before this front's own
+      // update contributions depart (the trailing blocks fold them in), so
+      // completion — not assembly — is where the tail of the stream gates.
+      const double full = ea_floor(1.0);
+      for (int dst = 0; dst < np; ++dst) clk.stall_until(r0 + dst, full);
+    } else if (!lookahead) {
       for (index_t kb = 0; kb < fb.kp; ++kb) {
         factor_col(kb, nullptr);
         update_cols(kb, kb + 1, fb.nB);

@@ -42,8 +42,12 @@ struct PerfResult {
 /// the blocking replay stalls every panel consumer at broadcast time, the
 /// lookahead replay defers panel arrivals to the next iteration's consume
 /// point (transfer overlaps the previous panel's lazy updates), mirroring
-/// dist_factor's two schedules; the extend-add byte volume follows the wire
-/// format (16 B/entry triples vs 8 B/entry packed).
+/// dist_factor's two schedules; the task-DAG replay additionally dissolves
+/// the collective extend-add barrier into per-panel arrival floors (block
+/// column kb stalls only on the prefix of the contribution stream it needs),
+/// mirroring the shared-memory runtime's ASM → POTRF task edges — it is
+/// replay-only, dist_factor rejects it. The extend-add byte volume follows
+/// the wire format (16 B/entry triples vs 8 B/entry packed).
 [[nodiscard]] PerfResult simulate_factor_time(const SymbolicFactor& sym,
                                               const FrontMap& map,
                                               const mpsim::MachineModel& model,

@@ -1,0 +1,142 @@
+#include "runtime/task_graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "support/error.h"
+
+namespace parfact::rt {
+
+index_t TaskGraph::add_task(tag_t tag, std::function<void()> fn, double cost) {
+  PARFACT_CHECK_MSG(!sealed_, "add_task after seal()");
+  PARFACT_CHECK_MSG(index_of_.find(tag) == index_of_.end(),
+                    "duplicate task tag " << tag);
+  const index_t t = static_cast<index_t>(tasks_.size());
+  Node node;
+  node.tag = tag;
+  node.fn = std::move(fn);
+  node.cost = cost;
+  tasks_.push_back(std::move(node));
+  index_of_.emplace(tag, t);
+  return t;
+}
+
+index_t TaskGraph::index_of(tag_t tag) const {
+  auto it = index_of_.find(tag);
+  PARFACT_CHECK_MSG(it != index_of_.end(), "unknown task tag " << tag);
+  return it->second;
+}
+
+void TaskGraph::declare_deps(tag_t task, std::span<const tag_t> deps) {
+  PARFACT_CHECK_MSG(!sealed_, "declare_deps after seal()");
+  const index_t t = index_of(task);
+  Node& node = tasks_[static_cast<std::size_t>(t)];
+  for (tag_t dep_tag : deps) {
+    const index_t d = index_of(dep_tag);
+    // Emission order must be topological: every dependency precedes its
+    // dependent. This is what makes the one-pass priority sweep in seal()
+    // (and scheduler startup) correct, and it is natural for postorder
+    // emitters, so enforce it rather than re-sorting.
+    PARFACT_CHECK_MSG(d < t, "dependency added after dependent (tags "
+                                 << dep_tag << " -> " << task << ")");
+    Node& dep = tasks_[static_cast<std::size_t>(d)];
+    // Coalesce duplicate edges (fan-in from slab loops often repeats tags).
+    if (std::find(dep.out.begin(), dep.out.end(), t) != dep.out.end())
+      continue;
+    dep.out.push_back(t);
+    ++node.n_deps;
+  }
+}
+
+void TaskGraph::declare_deps(tag_t task, std::initializer_list<tag_t> deps) {
+  declare_deps(task, std::span<const tag_t>(deps.begin(), deps.size()));
+}
+
+void TaskGraph::seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  // Critical-path lengths in one reverse sweep over insertion order (which
+  // declare_deps guarantees is topological): every successor's priority is
+  // final before its predecessors are visited.
+  for (auto it = tasks_.rbegin(); it != tasks_.rend(); ++it) {
+    double best = 0.0;
+    for (index_t succ : it->out)
+      best = std::max(best, tasks_[static_cast<std::size_t>(succ)].priority);
+    it->priority = it->cost + best;
+  }
+}
+
+SimulatedSchedule TaskGraph::simulate_makespan(int n_workers,
+                                               double rate) const {
+  PARFACT_CHECK(sealed_);
+  PARFACT_CHECK(n_workers >= 1);
+  PARFACT_CHECK(rate > 0.0);
+  SimulatedSchedule out;
+
+  const std::size_t n = tasks_.size();
+  if (n == 0) return out;
+
+  // Deterministic list scheduling: whenever a worker frees up, it takes the
+  // ready task with the highest critical-path priority (ties broken by
+  // insertion index, i.e. FIFO). Identical policy to the real scheduler,
+  // minus stealing noise — this is the schedule the runtime converges to.
+  std::vector<index_t> pending(n);
+  double cp = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    pending[t] = tasks_[t].n_deps;
+    out.busy += tasks_[t].cost / rate;
+    cp = std::max(cp, tasks_[t].priority / rate);
+  }
+  out.critical_path = cp;
+
+  // Ready queue: max-priority first, then lowest index (FIFO among ties).
+  auto ready_less = [this](index_t a, index_t b) {
+    const Node& na = tasks_[static_cast<std::size_t>(a)];
+    const Node& nb = tasks_[static_cast<std::size_t>(b)];
+    if (na.priority != nb.priority) return na.priority < nb.priority;
+    return a > b;
+  };
+  std::priority_queue<index_t, std::vector<index_t>, decltype(ready_less)>
+      ready(ready_less);
+  for (std::size_t t = 0; t < n; ++t)
+    if (pending[t] == 0) ready.push(static_cast<index_t>(t));
+
+  // Event-driven dispatch: at each point in virtual time, greedily hand the
+  // highest-priority ready task to an idle worker; when no worker is idle or
+  // nothing is ready, advance time to the next task completion and release
+  // its successors. This is exact priority list scheduling — no task ever
+  // reserves an idle worker before its dependencies have finished.
+  using Event = std::pair<double, index_t>;  // (finish time, task)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  int idle = n_workers;
+  double now = 0.0;
+  std::size_t done = 0;
+  while (done < n) {
+    while (idle > 0 && !ready.empty()) {
+      const index_t t = ready.top();
+      ready.pop();
+      --idle;
+      running.emplace(now + tasks_[static_cast<std::size_t>(t)].cost / rate,
+                      t);
+    }
+    PARFACT_CHECK_MSG(!running.empty(), "cycle or dangling dependency");
+    now = running.top().first;
+    // Drain every completion at this timestamp before dispatching again so
+    // the next dispatch round sees the full ready set.
+    while (!running.empty() && running.top().first == now) {
+      const index_t t = running.top().second;
+      running.pop();
+      ++idle;
+      ++done;
+      for (index_t succ : tasks_[static_cast<std::size_t>(t)].out) {
+        auto s = static_cast<std::size_t>(succ);
+        if (--pending[s] == 0) ready.push(succ);
+      }
+    }
+    out.makespan = now;
+  }
+  return out;
+}
+
+}  // namespace parfact::rt

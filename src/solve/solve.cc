@@ -6,12 +6,13 @@
 #include <vector>
 
 #include "dense/kernels.h"
+#include "solve/solve_internal.h"
 #include "sparse/ops.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 
 namespace parfact {
-namespace {
+namespace detail {
 
 /// Forward-solves supernode s's panel rows for the current RHS block:
 /// pulls pending descendant updates from the arena (ascending source
@@ -80,6 +81,13 @@ void backward_supernode(const CholeskyFactor& factor,
   }
   trsm_left_lower_trans(panel.block(0, 0, p, p), x1);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::backward_supernode;
+using detail::forward_supernode;
 
 /// One forward sweep over a single RHS block. Parallel path: independent
 /// subtrees as tasks, then top-of-tree levels ascending (children before

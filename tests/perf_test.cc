@@ -153,6 +153,59 @@ TEST(Perf, LookaheadBeatsBlockingAtScale) {
   EXPECT_TRUE(any_win) << "lookahead never beat blocking at any P";
 }
 
+TEST(Perf, TaskDagBeatsLookaheadAtScale) {
+  const SparseMatrix a = grid_laplacian_3d(14, 14, 14, 7);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const mpsim::MachineModel model{};
+  constexpr DistConfig look{DistConfig::Schedule::kLookahead,
+                            DistConfig::ExtendAddFormat::kPacked};
+  constexpr DistConfig dag{DistConfig::Schedule::kTaskDag,
+                           DistConfig::ExtendAddFormat::kPacked};
+  bool any_win = false;
+  for (int p : {64, 256, 1024}) {
+    const FrontMap map = build_front_map(sym, p, MappingStrategy::kSubtree2d);
+    const PerfResult l = simulate_factor_time(sym, map, model, look);
+    const PerfResult t = simulate_factor_time(sym, map, model, dag);
+    // The per-panel floors never exceed the collective extend-add barrier,
+    // so the task-DAG replay can only remove idle time, never add it.
+    EXPECT_LE(t.makespan, l.makespan * (1.0 + 1e-9)) << "p=" << p;
+    EXPECT_LE(t.idle_wait_seconds, l.idle_wait_seconds + 1e-12) << "p=" << p;
+    EXPECT_GE(t.efficiency(p), l.efficiency(p) * (1.0 - 1e-9)) << "p=" << p;
+    if (t.makespan < l.makespan) any_win = true;
+    // Same schedule volume, different timing: message/byte counts match.
+    EXPECT_EQ(t.total_messages, l.total_messages) << "p=" << p;
+    EXPECT_EQ(t.total_bytes, l.total_bytes) << "p=" << p;
+  }
+  EXPECT_TRUE(any_win) << "task-DAG replay never beat lookahead at any P";
+}
+
+TEST(Perf, TaskDagMatchesSerialAtOneRank) {
+  // With one rank there are no messages, hence no floors: all three
+  // schedules must report identical makespans.
+  const SparseMatrix a = grid_laplacian_2d(25, 25, 5);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map = build_front_map(sym, 1, MappingStrategy::kSubtree2d);
+  constexpr DistConfig dag{DistConfig::Schedule::kTaskDag,
+                           DistConfig::ExtendAddFormat::kPacked};
+  const PerfResult t = simulate_factor_time(sym, map, {}, dag);
+  const PerfResult l = simulate_factor_time(sym, map, {});
+  EXPECT_EQ(t.makespan, l.makespan);
+  EXPECT_EQ(t.total_messages, 0);
+  EXPECT_EQ(t.idle_wait_seconds, 0.0);
+}
+
+TEST(Perf, DistFactorRejectsTaskDagSchedule) {
+  const SparseMatrix a = grid_laplacian_2d(8, 8, 5);
+  const SymbolicFactor sym = analyze_nested_dissection(a);
+  const FrontMap map = build_front_map(sym, 2, MappingStrategy::kSubtree2d);
+  constexpr DistConfig dag{DistConfig::Schedule::kTaskDag,
+                           DistConfig::ExtendAddFormat::kPacked};
+  EXPECT_THROW(
+      (void)distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, {},
+                               {}, dag),
+      Error);
+}
+
 TEST(Perf, OverlapStatsAreConsistent) {
   const SparseMatrix a = grid_laplacian_3d(12, 12, 12, 7);
   const SymbolicFactor sym = analyze_nested_dissection(a);

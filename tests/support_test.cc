@@ -122,6 +122,67 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   EXPECT_FALSE(touched);
 }
 
+TEST(ThreadPool, NestedSubmissionFromInsideTask) {
+  // The task-DAG scheduler's workers submit successor work from inside
+  // running tasks; the pool must accept that without deadlock (submit only
+  // takes the queue lock, never waits).
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.submit([&pool, &counter] {
+        counter.fetch_add(1);
+        pool.submit([&counter] { counter.fetch_add(1); });
+      });
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 24);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, 0, 1000,
+                            [&ran](index_t i) {
+                              ran.fetch_add(1);
+                              if (i == 777) throw Error("body failed");
+                            }),
+               Error);
+  // Every chunk either ran or was drained; the pool is healthy afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 10, [&counter](index_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesCallerChunkException) {
+  // The calling thread runs the first chunk itself; its exception must not
+  // be lost and must not fire before the workers are done with `body`.
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 4,
+                            [](index_t i) {
+                              if (i == 0) throw Error("first chunk");
+                            },
+                            /*min_grain=*/1),
+               Error);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  // Destroying the pool with queued work must not hang or drop tasks: the
+  // workers drain the queue before exiting (the runtime relies on this when
+  // a graph run is abandoned after an error).
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait(): destructor handles the backlog.
+  }
+  EXPECT_EQ(counter.load(), 64);
+}
+
 TEST(Stats, Summary) {
   const std::vector<double> v{1.0, 2.0, 3.0, 6.0};
   const SampleSummary s = summarize(v);
