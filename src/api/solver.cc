@@ -1,12 +1,15 @@
 #include "api/solver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <sstream>
 #include <utility>
 
 #include "baseline/iccg.h"
 #include "dist/dist_factor.h"
 #include "dist/mapping.h"
 #include "graph/graph.h"
+#include "mf/governed.h"
 #include "mf/multifrontal.h"
 #include "solve/condest.h"
 #include "solve/fused.h"
@@ -17,6 +20,48 @@
 #include "support/timer.h"
 
 namespace parfact {
+namespace {
+
+[[noreturn]] void throw_invalid(const std::string& message) {
+  throw StatusError(Status::failure(StatusCode::kInvalidInput, message));
+}
+
+/// Batched refinement against a spilled factor, mirroring refine_block():
+/// `passes` correction sweeps (one SpMV per column per pass, one streamed
+/// OOC solve per pass), then the worst per-column relative residual.
+real_t ooc_refine_block(const SparseMatrix& lower_a,
+                        const OocCholeskyFactor& factor, ConstMatrixView b,
+                        MatrixView x, int passes) {
+  const index_t n = x.rows;
+  const index_t nrhs = x.cols;
+  std::vector<real_t> r(static_cast<std::size_t>(n) * nrhs);
+  std::vector<real_t> ax(static_cast<std::size_t>(n));
+  for (int pass = 0; pass < passes; ++pass) {
+    for (index_t c = 0; c < nrhs; ++c) {
+      const std::span<const real_t> xc{&x.at(0, c),
+                                       static_cast<std::size_t>(n)};
+      spmv_symmetric_lower(lower_a, xc, ax);
+      real_t* rc = r.data() + static_cast<std::size_t>(c) * n;
+      for (index_t i = 0; i < n; ++i) rc[i] = b.at(i, c) - ax[i];
+    }
+    ooc_solve_in_place(factor, MatrixView{r.data(), n, nrhs, n});
+    for (index_t c = 0; c < nrhs; ++c) {
+      const real_t* rc = r.data() + static_cast<std::size_t>(c) * n;
+      for (index_t i = 0; i < n; ++i) x.at(i, c) += rc[i];
+    }
+  }
+  real_t worst = 0.0;
+  for (index_t c = 0; c < nrhs; ++c) {
+    worst = std::max(
+        worst,
+        relative_residual(
+            lower_a, {&x.at(0, c), static_cast<std::size_t>(n)},
+            {&b.at(0, c), static_cast<std::size_t>(n)}));
+  }
+  return worst;
+}
+
+}  // namespace
 
 Solver::Solver(SolverOptions options) : options_(std::move(options)) {
   PARFACT_CHECK(options_.threads >= 1);
@@ -26,6 +71,49 @@ Solver::Solver(SolverOptions options) : options_(std::move(options)) {
 Solver::~Solver() = default;
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
+
+void Solver::cancel() { cancel_source_.request_cancel(); }
+
+void Solver::set_memory_budget_bytes(std::size_t bytes) {
+  options_.memory_budget_bytes = bytes;
+}
+
+void Solver::set_deadline_seconds(double seconds) {
+  options_.deadline_seconds = seconds;
+}
+
+CancelToken Solver::arm_cancel_scope() {
+  if (options_.deadline_seconds > 0.0) {
+    cancel_source_.set_deadline_after(options_.deadline_seconds);
+  }
+  return cancel_source_.token();
+}
+
+std::string Solver::spill_path() const {
+  if (!options_.spill_path.empty()) return options_.spill_path;
+  static std::atomic<int> next{0};
+  std::ostringstream os;
+  os << "/tmp/parfact_spill_" << next.fetch_add(1) << "_"
+     << static_cast<const void*>(this) << ".bin";
+  return os.str();
+}
+
+void Solver::check_rhs(std::size_t b_size, index_t nrhs,
+                       const char* fn) const {
+  const index_t n = sym_->n;
+  if (nrhs < 1) {
+    std::ostringstream os;
+    os << fn << ": nrhs must be >= 1, got " << nrhs;
+    throw_invalid(os.str());
+  }
+  if (static_cast<count_t>(b_size) != static_cast<count_t>(n) * nrhs) {
+    std::ostringstream os;
+    os << fn << ": right-hand-side block has " << b_size
+       << " entries, expected n * nrhs = " << n << " * " << nrhs << " = "
+       << static_cast<count_t>(n) * nrhs;
+    throw_invalid(os.str());
+  }
+}
 
 ThreadPool* Solver::solve_pool() const {
   if (options_.threads <= 1) return nullptr;
@@ -93,38 +181,75 @@ void Solver::analyze(const SparseMatrix& lower) {
 
 Status Solver::factorize() {
   PARFACT_CHECK_MSG(sym_.has_value(), "factorize() before analyze()");
-  FactorStats stats;
-  PivotPolicy pivot;
-  pivot.boost = options_.static_pivoting;
-  pivot.threshold = options_.pivot_threshold;
+  // Reset factor state up front so a failed run leaves no stale factor and
+  // releases the previous run's reservation before re-admission.
+  factor_.reset();
+  ooc_factor_.reset();
+  solve_schedule_.reset();
+  reservation_.reset();
+  budget_ = std::make_unique<ResourceBudget>(options_.memory_budget_bytes);
+
+  GovernedOptions gopts;
+  gopts.kind = options_.factor_kind;
+  gopts.pivot.boost = options_.static_pivoting;
+  gopts.pivot.threshold = options_.pivot_threshold;
+  gopts.two_phase =
+      options_.factor_engine == SolverOptions::FactorEngine::kTwoPhase;
+  gopts.spill_path = spill_path();
+  gopts.cancel = arm_cancel_scope();
+
+  std::unique_ptr<ThreadPool> pool;
   if (options_.threads > 1) {
-    ThreadPool pool(options_.threads);
-    auto* engine =
-        options_.factor_engine == SolverOptions::FactorEngine::kTwoPhase
-            ? multifrontal_factor_two_phase
-            : multifrontal_factor_parallel;
-    factor_.emplace(engine(*sym_, pool, &stats, options_.factor_kind,
-                           kCoopFrontFlops, pivot));
-  } else {
-    factor_.emplace(
-        multifrontal_factor(*sym_, &stats, options_.factor_kind, pivot));
+    pool = std::make_unique<ThreadPool>(options_.threads);
+    gopts.pool = pool.get();
   }
-  build_solve_schedule();
-  report_.factor_seconds = stats.seconds;
-  report_.peak_update_bytes = stats.peak_update_bytes;
-  report_.pivot_perturbations = stats.pivot_perturbations;
-  return Status::success(stats.pivot_perturbations);
+  GovernedFactorizeResult result =
+      multifrontal_factorize_governed(*sym_, *budget_, gopts);
+  // Fresh cancellation scope: a cancel()/deadline never poisons later calls.
+  cancel_source_ = CancelSource();
+
+  report_.admission = result.admission;
+  report_.peak_bytes = budget_->peak_bytes();
+  report_.bytes_spilled = result.bytes_spilled;
+  report_.factor_seconds = result.stats.seconds;
+  report_.peak_update_bytes = result.stats.peak_update_bytes;
+  report_.pivot_perturbations = result.stats.pivot_perturbations;
+
+  if (result.status.failed()) {
+    // Preserve the historical contract: a pivot breakdown (non-SPD input,
+    // or boost could not rescue the pivot) throws as before. Only the
+    // governance codes degrade to a returned Status.
+    if (result.status.code == StatusCode::kBreakdown) {
+      throw StatusError(result.status);
+    }
+    return result.status;
+  }
+  if (result.factor.has_value()) {
+    factor_.emplace(std::move(*result.factor));
+    build_solve_schedule();  // streamed OOC sweeps don't use the schedule
+  } else {
+    ooc_factor_.emplace(std::move(*result.ooc));
+  }
+  reservation_ = std::move(result.reservation);
+  return result.status;
 }
 
 Status Solver::factorize_and_solve(std::span<const real_t> b, index_t nrhs,
                                    std::vector<real_t>& x) {
   PARFACT_CHECK_MSG(sym_.has_value(), "factorize_and_solve() before analyze()");
   const index_t n = sym_->n;
-  PARFACT_CHECK(nrhs >= 1);
-  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
-                static_cast<count_t>(n) * nrhs);
-  if (options_.threads <= 1) {
+  try {
+    check_rhs(b.size(), nrhs, "factorize_and_solve");
+  } catch (const StatusError& e) {
+    return e.status();  // Status-returning entry point: no throw on bad input
+  }
+  // A governed run (budget/deadline) takes the factorize() ladder — the
+  // fused graph has no admission control — and the serial path has no
+  // fusion to offer either way.
+  if (options_.threads <= 1 || options_.memory_budget_bytes > 0 ||
+      options_.deadline_seconds > 0.0) {
     const Status status = factorize();
+    if (status.failed()) return status;
     x = solve_multi(b, nrhs);
     return status;
   }
@@ -169,8 +294,15 @@ Status Solver::factorize_distributed(int n_ranks,
   pivot.threshold = options_.pivot_threshold;
   const FrontMap map =
       build_front_map(*sym_, n_ranks, MappingStrategy::kSubtree2d);
+  // A Solver deadline doubles as the simulator's wall-clock watchdog: a
+  // livelocked run comes back as kCommTimeout instead of hanging the host.
+  mpsim::FaultPlan governed_faults = faults;
+  if (options_.deadline_seconds > 0.0 &&
+      governed_faults.run_timeout_host_seconds <= 0.0) {
+    governed_faults.run_timeout_host_seconds = options_.deadline_seconds;
+  }
   DistFactorResult result = distributed_factor_checked(
-      *sym_, map, model, options_.factor_kind, pivot, faults,
+      *sym_, map, model, options_.factor_kind, pivot, governed_faults,
       options_.resilience);
   report_.rank_failures_recovered = result.run.ranks_recovered;
   report_.recovery_virtual_seconds = result.run.recovery_overhead_seconds;
@@ -189,6 +321,16 @@ Status Solver::factorize_distributed(int n_ranks,
   return result.status;
 }
 
+void Solver::solve_postordered(MatrixView x) const {
+  if (factor_.has_value()) {
+    PARFACT_CHECK(solve_schedule_ != nullptr);
+    solve_in_place(*factor_, x, *solve_schedule_, solve_workspace_,
+                   solve_pool());
+  } else {
+    ooc_solve_in_place(*ooc_factor_, x);
+  }
+}
+
 std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
   // One sweep implementation: the 1-RHS facade is the blocked path.
   return solve_multi(b, 1);
@@ -196,19 +338,15 @@ std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
 
 std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
                                         index_t nrhs) const {
-  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
-  PARFACT_CHECK(solve_schedule_ != nullptr);
+  PARFACT_CHECK_MSG(has_factor(), "solve() before factorize()");
   const index_t n = sym_->n;
-  PARFACT_CHECK(nrhs >= 1);
-  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
-                static_cast<count_t>(n) * nrhs);
+  check_rhs(b.size(), nrhs, "solve_multi");
   std::vector<real_t> pb(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
     const std::size_t off = static_cast<std::size_t>(c) * n;
     for (index_t kk = 0; kk < n; ++kk) pb[off + kk] = b[off + total_perm_[kk]];
   }
-  solve_in_place(*factor_, MatrixView{pb.data(), n, nrhs, n},
-                 *solve_schedule_, solve_workspace_, solve_pool());
+  solve_postordered(MatrixView{pb.data(), n, nrhs, n});
   std::vector<real_t> x(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
     const std::size_t off = static_cast<std::size_t>(c) * n;
@@ -219,12 +357,9 @@ std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
 
 std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,
                                         index_t nrhs) const {
-  PARFACT_CHECK_MSG(factor_.has_value(), "solve_batch() before factorize()");
-  PARFACT_CHECK(solve_schedule_ != nullptr);
+  PARFACT_CHECK_MSG(has_factor(), "solve_batch() before factorize()");
   const index_t n = sym_->n;
-  PARFACT_CHECK(nrhs >= 1);
-  PARFACT_CHECK(static_cast<count_t>(b.size()) ==
-                static_cast<count_t>(n) * nrhs);
+  check_rhs(b.size(), nrhs, "solve_batch");
   WallTimer timer;
   std::vector<real_t> pb(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
@@ -236,16 +371,20 @@ std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,
   // batched refinement pass.
   const std::vector<real_t> prhs =
       options_.batch_refinement_passes > 0 ? pb : std::vector<real_t>{};
-  solve_in_place(*factor_, xv, *solve_schedule_, solve_workspace_,
-                 solve_pool());
+  solve_postordered(xv);
   real_t residual = 0.0;
   if (options_.batch_refinement_passes > 0) {
     // Refine the whole batch at once: one SpMV per column per pass plus
     // one blocked correction solve per pass.
-    residual = refine_block(sym_->a, *factor_,
-                            ConstMatrixView{prhs.data(), n, nrhs, n}, xv,
-                            *solve_schedule_, solve_workspace_, solve_pool(),
-                            options_.batch_refinement_passes);
+    residual =
+        factor_.has_value()
+            ? refine_block(sym_->a, *factor_,
+                           ConstMatrixView{prhs.data(), n, nrhs, n}, xv,
+                           *solve_schedule_, solve_workspace_, solve_pool(),
+                           options_.batch_refinement_passes)
+            : ooc_refine_block(sym_->a, *ooc_factor_,
+                               ConstMatrixView{prhs.data(), n, nrhs, n}, xv,
+                               options_.batch_refinement_passes);
   }
   std::vector<real_t> x(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
@@ -254,14 +393,24 @@ std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,
   }
   const double seconds = timer.seconds();
   const index_t wb = options_.solve_rhs_block;
-  const double n_blocks = static_cast<double>((nrhs + wb - 1) / wb);
+  // OOC sweeps stream the whole factor once per sweep (no RHS blocking,
+  // no workspace arena), so bytes/solve reduces to panel traffic.
+  const double n_blocks = factor_.has_value()
+                              ? static_cast<double>((nrhs + wb - 1) / wb)
+                              : 1.0;
   const double sweeps = n_blocks * (1.0 + options_.batch_refinement_passes);
-  const double panel_bytes =
-      2.0 * static_cast<double>(factor_->stored_entries()) * sizeof(real_t);
+  const double stored =
+      factor_.has_value() ? static_cast<double>(factor_->stored_entries())
+                          : static_cast<double>(ooc_factor_->bytes_on_disk()) /
+                                sizeof(real_t);
+  const double panel_bytes = 2.0 * stored * sizeof(real_t);
   const double arena_bytes =
-      2.0 * static_cast<double>(solve_schedule_->arena_entries_per_rhs()) *
-      static_cast<double>(nrhs) * sizeof(real_t) *
-      (1.0 + options_.batch_refinement_passes);
+      factor_.has_value()
+          ? 2.0 *
+                static_cast<double>(solve_schedule_->arena_entries_per_rhs()) *
+                static_cast<double>(nrhs) * sizeof(real_t) *
+                (1.0 + options_.batch_refinement_passes)
+          : 0.0;
   report_.batch_rhs = nrhs;
   report_.batch_seconds = seconds;
   report_.batch_solves_per_second =
@@ -273,18 +422,24 @@ std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,
 }
 
 std::vector<real_t> Solver::solve_refined(std::span<const real_t> b) const {
-  PARFACT_CHECK_MSG(factor_.has_value(), "solve() before factorize()");
-  PARFACT_CHECK(solve_schedule_ != nullptr);
+  PARFACT_CHECK_MSG(has_factor(), "solve() before factorize()");
   const index_t n = sym_->n;
+  check_rhs(b.size(), 1, "solve_refined");
   // Refine in the postordered space, where the factor lives.
   std::vector<real_t> pb(static_cast<std::size_t>(n));
   for (index_t k = 0; k < n; ++k) pb[k] = b[total_perm_[k]];
   std::vector<real_t> px = pb;
-  solve_in_place(*factor_, MatrixView{px.data(), n, 1, n}, *solve_schedule_,
-                 solve_workspace_, solve_pool());
-  (void)iterative_refinement(sym_->a, *factor_, pb, px, *solve_schedule_,
-                             solve_workspace_, solve_pool(),
-                             options_.refinement_steps);
+  solve_postordered(MatrixView{px.data(), n, 1, n});
+  if (factor_.has_value()) {
+    (void)iterative_refinement(sym_->a, *factor_, pb, px, *solve_schedule_,
+                               solve_workspace_, solve_pool(),
+                               options_.refinement_steps);
+  } else {
+    (void)ooc_refine_block(sym_->a, *ooc_factor_,
+                           ConstMatrixView{pb.data(), n, 1, n},
+                           MatrixView{px.data(), n, 1, n},
+                           options_.refinement_steps);
+  }
   std::vector<real_t> x(static_cast<std::size_t>(n));
   for (index_t k = 0; k < n; ++k) x[total_perm_[k]] = px[k];
   return x;
@@ -306,7 +461,7 @@ const char* solve_path_name(SolvePath path) {
 }
 
 RobustSolveResult Solver::solve_robust(std::span<const real_t> b) const {
-  PARFACT_CHECK_MSG(factor_.has_value(), "solve_robust() before factorize()");
+  PARFACT_CHECK_MSG(has_factor(), "solve_robust() before factorize()");
   const Status factor_status =
       Status::success(report_.pivot_perturbations);
   RobustSolveResult result;
@@ -396,18 +551,31 @@ const CholeskyFactor& Solver::factor() const {
   return *factor_;
 }
 
+const OocCholeskyFactor& Solver::ooc_factor() const {
+  PARFACT_CHECK_MSG(ooc_factor_.has_value(),
+                    "ooc_factor(): last factorization did not spill");
+  return *ooc_factor_;
+}
+
 SolveBatch::SolveBatch(const Solver& solver)
     : solver_(&solver), n_(solver.symbolic().n) {}
 
 index_t SolveBatch::add(std::span<const real_t> b) {
-  PARFACT_CHECK(static_cast<index_t>(b.size()) == n_);
+  if (static_cast<index_t>(b.size()) != n_) {
+    std::ostringstream os;
+    os << "SolveBatch::add: right-hand side has " << b.size()
+       << " entries, matrix order is " << n_;
+    throw_invalid(os.str());
+  }
   solved_ = false;
   b_.insert(b_.end(), b.begin(), b.end());
   return nrhs_++;
 }
 
 void SolveBatch::solve() {
-  PARFACT_CHECK_MSG(nrhs_ > 0, "SolveBatch::solve() with no right-hand sides");
+  if (nrhs_ <= 0) {
+    throw_invalid("SolveBatch::solve: batch holds no right-hand sides");
+  }
   x_ = solver_->solve_batch(b_, nrhs_);
   solved_ = true;
 }

@@ -13,18 +13,23 @@
 // "desktop" interface.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dist/checkpoint.h"
 #include "graph/ordering.h"
 #include "mf/factor.h"
+#include "mf/governed.h"
 #include "mf/multifrontal.h"
+#include "mf/ooc.h"
 #include "mpsim/machine.h"
 #include "solve/solve_schedule.h"
 #include "sparse/sparse_matrix.h"
+#include "support/resource.h"
 #include "symbolic/symbolic_factor.h"
 
 namespace parfact {
@@ -67,6 +72,22 @@ struct SolverOptions {
   /// checkpointing cadence and the optional checksummed scratch spill.
   /// Spare ranks themselves are part of the mpsim::FaultPlan.
   ResiliencePolicy resilience;
+  /// Memory budget for factorize() (0 = unlimited). Admission is checked
+  /// against the symbolic working-set estimate before any numeric
+  /// allocation; a factorization that does not fit in-core degrades to the
+  /// checksummed OOC spill (panels on disk, bitwise-identical factor), and
+  /// one that cannot even spill returns kResourceExhausted. A limited
+  /// budget runs the serial engine — its postorder memory profile is
+  /// exactly what admission reserved.
+  std::size_t memory_budget_bytes = 0;
+  /// Wall-clock deadline per factorize()/factorize_and_solve() call
+  /// (host seconds; 0 = none). A deadline firing mid-factor returns
+  /// kDeadlineExceeded within one task granule, with the solver reusable.
+  /// factorize_distributed() maps it onto the mpsim run watchdog
+  /// (kCommTimeout) when the fault plan does not set its own.
+  double deadline_seconds = 0.0;
+  /// OOC scratch file for budget-driven spill; empty = a unique /tmp path.
+  std::string spill_path;
 };
 
 /// Summary of the last analyze/factorize, in the units the paper reports.
@@ -80,6 +101,13 @@ struct SolverReport {
   double factor_seconds = 0.0;
   std::size_t peak_update_bytes = 0;
   count_t pivot_perturbations = 0;  ///< static-pivot boosts in factorize()
+  /// Resource governance of the last factorize(): how admission decided,
+  /// the budget high-water mark (reserved bytes; equals the working-set
+  /// estimate of the admitted rung), and scratch-file bytes written when
+  /// the factor spilled out-of-core.
+  Admission admission = Admission::kUnlimited;
+  std::size_t peak_bytes = 0;
+  std::size_t bytes_spilled = 0;
   /// factorize_distributed() only: rank crashes a spare recovered, and the
   /// virtual-time cost of those recoveries (lost work re-executed plus
   /// checkpoint restore transfers).
@@ -135,7 +163,26 @@ class Solver {
   /// returned Status (kOk, or kPerturbed with the perturbation count)
   /// instead of throwing; with static_pivoting=false a non-SPD/-factorizable
   /// matrix throws parfact::Error as before.
+  ///
+  /// Runs under options.memory_budget_bytes / deadline_seconds when set:
+  /// the returned Status is then also how kResourceExhausted, kCancelled
+  /// and kDeadlineExceeded are reported (report().admission records which
+  /// rung of the degradation ladder ran). After any such failure the same
+  /// Solver instance is immediately reusable — a subsequent unconstrained
+  /// factorize() produces a factor bitwise identical to an uninterrupted
+  /// run.
   Status factorize();
+
+  /// Requests cooperative cancellation of the in-flight (or next)
+  /// factorize()/factorize_and_solve() call from any thread; the cancelled
+  /// call returns Status kCancelled. Completing a governed call re-arms a
+  /// fresh cancellation scope, so cancel() never poisons later calls.
+  void cancel();
+
+  /// Adjusts the resource-governance knobs between calls (the remaining
+  /// options stay fixed at construction).
+  void set_memory_budget_bytes(std::size_t bytes);
+  void set_deadline_seconds(double seconds);
 
   /// Distributed-memory numeric phase: runs the subtree-to-subcube
   /// multifrontal factorization on `n_ranks` simulated mpsim ranks and
@@ -201,6 +248,13 @@ class Solver {
   [[nodiscard]] const SolverReport& report() const { return report_; }
   [[nodiscard]] const SymbolicFactor& symbolic() const;
   [[nodiscard]] const CholeskyFactor& factor() const;
+  /// True once a factorization (in-core or spilled) is ready to solve with.
+  [[nodiscard]] bool has_factor() const {
+    return factor_.has_value() || ooc_factor_.has_value();
+  }
+  /// The disk-backed factor when the last factorize() spilled (asserts
+  /// otherwise); every solve entry point dispatches to it transparently.
+  [[nodiscard]] const OocCholeskyFactor& ooc_factor() const;
   /// Combined permutation: original index of postordered index k.
   [[nodiscard]] const std::vector<index_t>& permutation() const {
     return total_perm_;
@@ -214,16 +268,28 @@ class Solver {
   /// is built once per factorize() and reused by every solve.
   [[nodiscard]] ThreadPool* solve_pool() const;
   void build_solve_schedule();
+  /// Arms the per-call cancellation scope (deadline) and returns its token.
+  [[nodiscard]] CancelToken arm_cancel_scope();
+  /// x := A⁻¹ x on the postordered block, dispatching in-core vs spilled.
+  void solve_postordered(MatrixView x) const;
+  [[nodiscard]] std::string spill_path() const;
+  void check_rhs(std::size_t b_size, index_t nrhs, const char* fn) const;
 
   SolverOptions options_;
   mutable SolverReport report_;  ///< solve_batch() updates batch stats
   std::optional<SymbolicFactor> sym_;
   std::optional<CholeskyFactor> factor_;
+  std::optional<OocCholeskyFactor> ooc_factor_;  ///< spilled alternative
   std::vector<index_t> total_perm_;  ///< postordered -> original
   SparseMatrix original_lower_;      ///< kept for residuals/refinement
   std::unique_ptr<SolveSchedule> solve_schedule_;
   mutable SolveWorkspace solve_workspace_;
   mutable std::unique_ptr<ThreadPool> solve_pool_;
+  /// Governance state. The budget must outlive the reservation charged
+  /// against it (declaration order ⇒ reverse destruction order).
+  std::unique_ptr<ResourceBudget> budget_;
+  Reservation reservation_;
+  CancelSource cancel_source_;
 };
 
 /// Accumulating batch helper for serving loops: callers add() single

@@ -308,7 +308,8 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
                                             FactorStats* stats,
                                             FactorKind kind,
                                             count_t coop_flops,
-                                            PivotPolicy pivot) {
+                                            PivotPolicy pivot,
+                                            CancelToken cancel) {
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   CholeskyFactor factor(sym);
@@ -319,7 +320,7 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
                         pool.size() + 1);
   rt::TaskGraph graph;
   dag.emit(graph);
-  rt::run_graph(graph, pool);
+  rt::run_graph(graph, pool, std::move(cancel));
 
   if (stats != nullptr) {
     stats->seconds = timer.seconds();

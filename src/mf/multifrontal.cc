@@ -28,7 +28,7 @@ PivotPolicy resolve_pivot_policy(PivotPolicy policy, const SparseMatrix& a) {
 
 CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
                                    FactorStats* stats, FactorKind kind,
-                                   PivotPolicy pivot) {
+                                   PivotPolicy pivot, CancelToken cancel) {
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   CholeskyFactor factor(sym);
@@ -42,6 +42,7 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
   count_t perturbations = 0;
 
   for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    cancel.throw_if_cancelled();
     perturbations += detail::eliminate_front(
         sym, s, update_of, children, factor.panel(s), update_of[s], scratch,
         kind, d, nullptr, pivot);
@@ -66,7 +67,8 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
                                              FactorStats* stats,
                                              FactorKind kind,
                                              count_t coop_flops,
-                                             PivotPolicy pivot) {
+                                             PivotPolicy pivot,
+                                             CancelToken cancel) {
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   std::atomic<count_t> perturbations{0};
@@ -130,6 +132,9 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
     pending[s].store(static_cast<index_t>(children[s].size()));
   }
   std::function<void(index_t)> run_supernode = [&](index_t s) {
+    // Per-task poll: a cancelled run stops spawning parents; the exception
+    // is captured by the pool and rethrown from wait() below.
+    cancel.throw_if_cancelled();
     auto scratch = acquire_scratch();
     const count_t boosted = detail::eliminate_front(
         sym, s, update_of, children, factor.panel(s), update_of[s], *scratch,
@@ -158,6 +163,7 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
   detail::FrontScratch scratch(sym.n);
   for (index_t s = 0; s < ns; ++s) {
     if (tasked[s]) continue;
+    cancel.throw_if_cancelled();
     perturbations.fetch_add(
         detail::eliminate_front(sym, s, update_of, children, factor.panel(s),
                                 update_of[s], scratch, kind, d, &pool, pivot),
@@ -177,15 +183,15 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
 
 FactorizeResult multifrontal_factorize(const SymbolicFactor& sym,
                                        FactorKind kind, PivotPolicy pivot,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool, CancelToken cancel) {
   FactorizeResult result;
   try {
     result.factor.emplace(pool != nullptr && pool->size() > 1
                               ? multifrontal_factor_parallel(
                                     sym, *pool, &result.stats, kind,
-                                    kCoopFrontFlops, pivot)
+                                    kCoopFrontFlops, pivot, cancel)
                               : multifrontal_factor(sym, &result.stats, kind,
-                                                    pivot));
+                                                    pivot, cancel));
     result.status = Status::success(result.stats.pivot_perturbations);
   } catch (const StatusError& e) {
     result.factor.reset();

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "mf/factor.h"
+#include "support/resource.h"
 #include "support/status.h"
 #include "support/thread_pool.h"
 #include "symbolic/symbolic_factor.h"
@@ -47,9 +48,14 @@ struct PivotPolicy {
 /// (specifically StatusError with StatusCode::kBreakdown) if a front hits a
 /// non-positive (Cholesky) or zero (LDLᵀ) pivot; with boosting, tiny pivots
 /// are perturbed and counted in stats->pivot_perturbations.
+///
+/// Every engine below polls `cancel` at supernode (or DAG-task) granularity
+/// and unwinds with StatusError(kCancelled / kDeadlineExceeded) when it
+/// trips, leaving the pool reusable and no partial factor behind.
 [[nodiscard]] CholeskyFactor multifrontal_factor(
     const SymbolicFactor& sym, FactorStats* stats = nullptr,
-    FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {});
+    FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
+    CancelToken cancel = {});
 
 /// A front whose factorization flops reach this threshold is executed
 /// cooperatively (all workers split its TRSM/SYRK/GEMM row ranges) instead
@@ -70,7 +76,8 @@ inline constexpr count_t kCoopFrontFlops = 20'000'000;
 [[nodiscard]] CholeskyFactor multifrontal_factor_parallel(
     const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
     FactorKind kind = FactorKind::kCholesky,
-    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {});
+    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {},
+    CancelToken cancel = {});
 
 /// The pre-runtime static engine, kept as the task-DAG engine's benchmark
 /// baseline (bench_f10): maximal subtrees of "light" fronts (< `coop_flops`
@@ -81,7 +88,8 @@ inline constexpr count_t kCoopFrontFlops = 20'000'000;
 [[nodiscard]] CholeskyFactor multifrontal_factor_two_phase(
     const SymbolicFactor& sym, ThreadPool& pool, FactorStats* stats = nullptr,
     FactorKind kind = FactorKind::kCholesky,
-    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {});
+    count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {},
+    CancelToken cancel = {});
 
 /// Outcome of a checked factorization: on success (including a perturbed
 /// success) `factor` is engaged and `status` reports the perturbation
@@ -98,6 +106,7 @@ struct FactorizeResult {
 /// wanting the strict throw-on-breakdown contract use the functions above.
 [[nodiscard]] FactorizeResult multifrontal_factorize(
     const SymbolicFactor& sym, FactorKind kind = FactorKind::kCholesky,
-    PivotPolicy pivot = {.boost = true}, ThreadPool* pool = nullptr);
+    PivotPolicy pivot = {.boost = true}, ThreadPool* pool = nullptr,
+    CancelToken cancel = {});
 
 }  // namespace parfact

@@ -60,8 +60,30 @@ OocCholeskyFactor::OocCholeskyFactor(OocCholeskyFactor&& other) noexcept
     : sym_(other.sym_),
       path_(std::move(other.path_)),
       file_(std::exchange(other.file_, nullptr)),
+      d_(std::move(other.d_)),
       offset_(std::move(other.offset_)),
       checksum_(std::move(other.checksum_)) {}
+
+OocCholeskyFactor& OocCholeskyFactor::operator=(
+    OocCholeskyFactor&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+  }
+  sym_ = other.sym_;
+  path_ = std::move(other.path_);
+  file_ = std::exchange(other.file_, nullptr);
+  d_ = std::move(other.d_);
+  offset_ = std::move(other.offset_);
+  checksum_ = std::move(other.checksum_);
+  return *this;
+}
+
+std::span<real_t> OocCholeskyFactor::allocate_diag() {
+  d_.assign(static_cast<std::size_t>(sym_->n), 0.0);
+  return d_;
+}
 
 count_t OocCholeskyFactor::bytes_on_disk() const { return offset_.back(); }
 
@@ -104,11 +126,14 @@ void OocCholeskyFactor::read_panel(index_t s, MatrixView out) const {
 OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
                                           const std::string& path,
                                           FactorStats* stats,
-                                          PivotPolicy pivot) {
+                                          PivotPolicy pivot, FactorKind kind,
+                                          CancelToken cancel) {
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   count_t perturbations = 0;
   OocCholeskyFactor factor(sym, path);
+  std::span<real_t> d;
+  if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
   const auto children = detail::build_children(sym);
   std::vector<std::vector<real_t>> update_of(
       static_cast<std::size_t>(sym.n_supernodes));
@@ -118,14 +143,14 @@ OocCholeskyFactor multifrontal_factor_ooc(const SymbolicFactor& sym,
   std::size_t live = 0;
   std::size_t peak = 0;
   for (index_t s = 0; s < sym.n_supernodes; ++s) {
+    cancel.throw_if_cancelled();
     const index_t f = sym.front_order(s);
     const index_t p = sym.sn_cols(s);
     panel_buf.assign(static_cast<std::size_t>(f) * p, 0.0);
     MatrixView panel{panel_buf.data(), f, p, f};
     perturbations += detail::eliminate_front(sym, s, update_of, children,
                                              panel, update_of[s], scratch,
-                                             FactorKind::kCholesky, {},
-                                             nullptr, pivot);
+                                             kind, d, nullptr, pivot);
     factor.write_panel(s, panel);
     live += update_of[s].size() * sizeof(real_t);
     peak = std::max(peak, live + panel_buf.size() * sizeof(real_t));
@@ -167,6 +192,13 @@ void ooc_solve_in_place(const OocCholeskyFactor& factor, MatrixView x) {
     const auto rows = sym.below_rows(s);
     for (index_t c = 0; c < x.cols; ++c) {
       for (index_t i = 0; i < b; ++i) x.at(rows[i], c) += t.at(i, c);
+    }
+  }
+  // LDLᵀ: divide by the resident diagonal between the sweeps.
+  if (factor.is_ldlt()) {
+    const std::span<const real_t> d = factor.diag();
+    for (index_t c = 0; c < x.cols; ++c) {
+      for (index_t i = 0; i < x.rows; ++i) x.at(i, c) /= d[i];
     }
   }
   // Backward sweep (reverse streaming).

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@ class OocCholeskyFactor {
   OocCholeskyFactor(const OocCholeskyFactor&) = delete;
   OocCholeskyFactor& operator=(const OocCholeskyFactor&) = delete;
   OocCholeskyFactor(OocCholeskyFactor&& other) noexcept;
+  OocCholeskyFactor& operator=(OocCholeskyFactor&& other) noexcept;
 
   [[nodiscard]] const SymbolicFactor& symbolic() const { return *sym_; }
   [[nodiscard]] count_t bytes_on_disk() const;
@@ -50,20 +52,30 @@ class OocCholeskyFactor {
   /// StatusError with StatusCode::kDataCorruption.
   void read_panel(index_t s, MatrixView out) const;
 
+  /// LDLᵀ support, mirroring CholeskyFactor: panels on disk hold the
+  /// unit-diagonal L while D stays resident (n doubles — negligible next to
+  /// the spilled panels).
+  [[nodiscard]] bool is_ldlt() const { return !d_.empty(); }
+  [[nodiscard]] std::span<const real_t> diag() const { return d_; }
+  std::span<real_t> allocate_diag();
+
  private:
   const SymbolicFactor* sym_;
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::vector<real_t> d_;        ///< LDLᵀ diagonal (resident)
   std::vector<count_t> offset_;  ///< per-supernode byte offset
   std::vector<std::uint64_t> checksum_;  ///< per-supernode FNV-1a of panel
 };
 
-/// Out-of-core serial multifrontal Cholesky. `stats->peak_update_bytes`
-/// reports the resident update-stack peak — the number that stays small
-/// while the factor itself goes to disk.
+/// Out-of-core serial multifrontal factorization (Cholesky or LDLᵀ).
+/// `stats->peak_update_bytes` reports the resident peak — update stack plus
+/// the one streamed panel buffer — the number that stays small while the
+/// factor itself goes to disk. Polls `cancel` once per supernode.
 [[nodiscard]] OocCholeskyFactor multifrontal_factor_ooc(
     const SymbolicFactor& sym, const std::string& path,
-    FactorStats* stats = nullptr, PivotPolicy pivot = {});
+    FactorStats* stats = nullptr, PivotPolicy pivot = {},
+    FactorKind kind = FactorKind::kCholesky, CancelToken cancel = {});
 
 /// x := A⁻¹ x with panels streamed from disk (x is n x nrhs).
 void ooc_solve_in_place(const OocCholeskyFactor& factor, MatrixView x);

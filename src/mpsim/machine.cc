@@ -84,6 +84,9 @@ void validate_plan(const FaultPlan& p, int n_ranks) {
   if (!(p.recv_timeout_host_seconds > 0.0)) {
     fail("recv_timeout_host_seconds must be > 0");
   }
+  if (!(p.run_timeout_host_seconds >= 0.0)) {
+    fail("run_timeout_host_seconds must be >= 0");
+  }
   if (p.spare_ranks < 0) fail("spare_ranks must be >= 0");
   for (const FaultPlan::Stall& s : p.stalls) {
     if (s.rank < 0 || s.rank >= n_ranks) fail("stall names a nonexistent rank");
@@ -265,13 +268,26 @@ class Machine {
     std::lock_guard<std::mutex> lock(death_mu_);
     std::ostringstream os;
     for (std::size_t i = 0; i < lost_.size(); ++i) {
-      os << (i ? ", " : "") << lost_[i];
+      const auto r = static_cast<std::size_t>(lost_[i]);
+      os << (i ? ", " : "") << lost_[i] << " (died at t=" << death_clock_[r]
+         << "s)";
     }
     return os.str();
   }
 
   void abort_all() {
     aborted_.store(true);
+    wake_all();
+  }
+
+  /// Watchdog fired: the whole run overran its host wall-clock budget. Every
+  /// rank that is blocked (or next polls check_abort) raises kCommTimeout.
+  void trigger_timeout() {
+    timed_out_.store(true);
+    wake_all();
+  }
+
+  void wake_all() {
     for (auto& box : boxes_) {
       std::lock_guard<std::mutex> lock(box.mu);
       box.cv.notify_all();
@@ -286,11 +302,23 @@ class Machine {
     }
   }
 
+  [[nodiscard]] bool stop_requested() const {
+    return aborted_.load() || timed_out_.load();
+  }
+
   void check_abort() const {
+    if (timed_out_.load()) {
+      std::ostringstream os;
+      os << "mpsim: run exceeded its wall-clock budget of "
+         << plan_.run_timeout_host_seconds << " host seconds (livelock guard)";
+      throw StatusError(Status::failure(StatusCode::kCommTimeout, os.str()));
+    }
     if (aborted_.load()) {
       throw Error("mpsim: run aborted because another rank failed");
     }
   }
+
+  std::atomic<bool> timed_out_{false};
 };
 
 int Comm::size() const { return machine_->n_; }
@@ -333,8 +361,9 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   // destination beyond recovery is a diagnosed failure, never a black hole.
   if (machine_->rank_state(dest) == Machine::kDeadUnrecoverable) {
     std::ostringstream os;
-    os << "mpsim: rank " << rank_ << " cannot send to rank " << dest
-       << " (tag " << tag << "): that rank crashed and no spare took over";
+    os << "mpsim: rank " << rank_ << " at t=" << clock_
+       << "s cannot send to rank " << dest << " (tag " << tag
+       << "): that rank crashed and no spare took over";
     throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
   }
 
@@ -401,8 +430,8 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   if (!delivered) {
     std::ostringstream os;
     os << "mpsim: message " << rank_ << " -> " << dest << " (tag " << tag
-       << ", seq " << seq << ") lost " << plan.max_retries + 1
-       << " consecutive copies; giving up";
+       << ", seq " << seq << ") at t=" << clock_ << "s lost "
+       << plan.max_retries + 1 << " consecutive copies; giving up";
     throw StatusError(Status::failure(StatusCode::kCommFailure, os.str()));
   }
 }
@@ -420,7 +449,7 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
   if (!machine_->faults_) {
     std::unique_lock<std::mutex> lock(box.mu);
     const auto have = [&] {
-      if (machine_->aborted_.load()) return true;
+      if (machine_->stop_requested()) return true;
       const auto it = box.queues.find(key);
       return it != box.queues.end() && !it->second.empty();
     };
@@ -430,8 +459,8 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
       if (!box.cv.wait_until(lock, deadline, have)) {
         lock.unlock();
         std::ostringstream os;
-        os << "mpsim: rank " << rank_ << " timed out after "
-           << plan.recv_timeout_host_seconds
+        os << "mpsim: rank " << rank_ << " at t=" << clock_
+           << "s timed out after " << plan.recv_timeout_host_seconds
            << "s of host time waiting for (source " << source << ", tag "
            << tag << ")";
         throw StatusError(Status::failure(StatusCode::kCommTimeout,
@@ -466,7 +495,7 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
     const auto pending = [&] {
-      if (machine_->aborted_.load()) return true;
+      if (machine_->stop_requested()) return true;
       if (machine_->retain_ &&
           machine_->rank_state(source) == Machine::kDeadUnrecoverable) {
         return true;
@@ -480,8 +509,8 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
     } else if (!box.cv.wait_until(lock, deadline, pending)) {
       lock.unlock();
       std::ostringstream os;
-      os << "mpsim: rank " << rank_ << " timed out after "
-         << plan.recv_timeout_host_seconds
+      os << "mpsim: rank " << rank_ << " at t=" << clock_
+         << "s timed out after " << plan.recv_timeout_host_seconds
          << "s of host time waiting for (source " << source << ", tag "
          << tag << "), expected seq " << expected;
       throw StatusError(Status::failure(StatusCode::kCommTimeout, os.str()));
@@ -497,9 +526,10 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
       if (!blocking) return false;
       lock.unlock();
       std::ostringstream os;
-      os << "mpsim: rank " << rank_ << " was waiting for (source " << source
-         << ", tag " << tag << ", seq " << expected << "), but rank "
-         << source << " crashed and no spare took over";
+      os << "mpsim: rank " << rank_ << " at t=" << clock_
+         << "s was waiting for (source " << source << ", tag " << tag
+         << ", seq " << expected << "), but rank " << source
+         << " crashed and no spare took over";
       throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
     }
     Machine::Message msg;
@@ -662,10 +692,12 @@ void count_collective_traffic(Machine& m, count_t messages, count_t bytes) {
 
 /// Raises kRankFailure naming the crashed rank(s): a collective can never
 /// complete once a participant is dead beyond recovery.
-[[noreturn]] void throw_collective_rank_failure(Machine& m, int rank) {
+[[noreturn]] void throw_collective_rank_failure(Machine& m, int rank,
+                                                double clock) {
   std::ostringstream os;
-  os << "mpsim: rank " << rank << " entered a collective, but rank(s) "
-     << m.lost_ranks_string() << " crashed and no spare took over";
+  os << "mpsim: rank " << rank << " at t=" << clock
+     << "s entered a collective, but rank(s) " << m.lost_ranks_string()
+     << " crashed and no spare took over";
   throw StatusError(Status::failure(StatusCode::kRankFailure, os.str()));
 }
 
@@ -677,7 +709,7 @@ double Comm::allreduce_sum(double v) {
   m.check_abort();
   if (m.unrecoverable_deaths_.load() > 0) {
     lock.unlock();
-    throw_collective_rank_failure(m, rank_);
+    throw_collective_rank_failure(m, rank_, clock_);
   }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) {
@@ -699,14 +731,14 @@ double Comm::allreduce_sum(double v) {
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+      return m.stop_requested() || m.coll_gen_ != my_gen ||
              m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
     if (m.coll_gen_ == my_gen) {
       // Not a completed rendezvous: a participant died beyond recovery.
       lock.unlock();
-      throw_collective_rank_failure(m, rank_);
+      throw_collective_rank_failure(m, rank_, clock_);
     }
   }
   // Binomial-tree reduce + broadcast of one double.
@@ -724,7 +756,7 @@ double Comm::allreduce_max(double v) {
   m.check_abort();
   if (m.unrecoverable_deaths_.load() > 0) {
     lock.unlock();
-    throw_collective_rank_failure(m, rank_);
+    throw_collective_rank_failure(m, rank_, clock_);
   }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) {
@@ -746,13 +778,13 @@ double Comm::allreduce_max(double v) {
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+      return m.stop_requested() || m.coll_gen_ != my_gen ||
              m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
     if (m.coll_gen_ == my_gen) {
       lock.unlock();
-      throw_collective_rank_failure(m, rank_);
+      throw_collective_rank_failure(m, rank_, clock_);
     }
   }
   const double cost = 2.0 * ceil_log2(m.n_) *
@@ -769,7 +801,7 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
   m.check_abort();
   if (m.unrecoverable_deaths_.load() > 0) {
     lock.unlock();
-    throw_collective_rank_failure(m, rank_);
+    throw_collective_rank_failure(m, rank_, clock_);
   }
   const std::uint64_t my_gen = m.coll_gen_;
   if (m.coll_arrived_ == 0) m.coll_clock_ = 0.0;
@@ -787,13 +819,13 @@ void Comm::bcast(int root, std::vector<std::byte>* data) {
     m.coll_cv_.notify_all();
   } else {
     m.coll_cv_.wait(lock, [&] {
-      return m.aborted_.load() || m.coll_gen_ != my_gen ||
+      return m.stop_requested() || m.coll_gen_ != my_gen ||
              m.unrecoverable_deaths_.load() > 0;
     });
     m.check_abort();
     if (m.coll_gen_ == my_gen) {
       lock.unlock();
-      throw_collective_rank_failure(m, rank_);
+      throw_collective_rank_failure(m, rank_, clock_);
     }
   }
   if (rank_ != root) *data = m.coll_result_payload_;
@@ -852,7 +884,7 @@ Takeover Comm::await_failure() {
           std::chrono::duration<double>(m.plan_.recv_timeout_host_seconds));
   std::unique_lock<std::mutex> lock(m.death_mu_);
   const bool ready = m.death_cv_.wait_until(lock, deadline, [&] {
-    return m.aborted_.load() || m.run_over_ ||
+    return m.stop_requested() || m.run_over_ ||
            (target >= 0 && m.dead_[static_cast<std::size_t>(target)] != 0);
   });
   if (!ready) {
@@ -1023,6 +1055,24 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   }
   machine.programs_remaining_ = n_ranks;
 
+  // Wall-clock watchdog: if the whole run overstays its host-seconds budget
+  // (a livelocked protocol, a lost wakeup), trip the machine so every blocked
+  // rank raises kCommTimeout instead of hanging the process. The watchdog is
+  // a plain wait_for on a flagged cv — it costs nothing unless it fires.
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool run_finished = false;
+  std::thread watchdog;
+  if (faults.run_timeout_host_seconds > 0.0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      const bool finished = watchdog_cv.wait_for(
+          lock, std::chrono::duration<double>(faults.run_timeout_host_seconds),
+          [&] { return run_finished; });
+      if (!finished) machine.trigger_timeout();
+    });
+  }
+
   std::mutex err_mu;
   std::exception_ptr first_error;
   std::vector<std::thread> threads;
@@ -1049,6 +1099,20 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
     });
   }
   for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu);
+      run_finished = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
+  if (machine.timed_out_.load() && !first_error) {
+    std::ostringstream os;
+    os << "mpsim: run exceeded its wall-clock budget of "
+       << faults.run_timeout_host_seconds << " host seconds (livelock guard)";
+    throw StatusError(Status::failure(StatusCode::kCommTimeout, os.str()));
+  }
   if (first_error) std::rethrow_exception(first_error);
   if (!machine.lost_.empty()) {
     // Every surviving program finished without touching the dead rank(s);

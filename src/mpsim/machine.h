@@ -128,6 +128,13 @@ struct FaultPlan {
   /// Standby ranks available to adopt crashed ranks (see Comm::await_failure).
   /// Rank programs must handle Comm::is_spare() when this is nonzero.
   int spare_ranks = 0;
+  /// Wall-clock (host) budget for the whole run_spmd call; 0 disables. When
+  /// the watchdog fires, every blocked or soon-to-block rank raises
+  /// StatusError(kCommTimeout) instead of the run hanging the host. Unlike
+  /// the knobs above this is a safety net, not an injected fault, so it
+  /// deliberately does NOT make the plan active() — a run with only a
+  /// timeout budget keeps the zero-overhead fault-free wire format.
+  double run_timeout_host_seconds = 0.0;
 
   [[nodiscard]] bool active() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||

@@ -15,8 +15,9 @@ namespace {
 /// ready task indices keyed by critical-path priority.
 class Run {
  public:
-  Run(TaskGraph& graph, int n_workers)
+  Run(TaskGraph& graph, int n_workers, CancelToken cancel)
       : graph_(graph),
+        cancel_(std::move(cancel)),
         n_workers_(n_workers),
         workers_(static_cast<std::size_t>(n_workers)),
         remaining_(graph.n_tasks()),
@@ -139,6 +140,9 @@ class Run {
     Worker& me = workers_[static_cast<std::size_t>(id)];
     TaskGraph::Node& node = graph_.node(t);
     try {
+      // One cancellation poll per task keeps the response latency bounded
+      // by a single task granule; the throw reuses the error-drain path.
+      cancel_.throw_if_cancelled();
       if (node.fn) node.fn();
     } catch (...) {
       {
@@ -199,6 +203,7 @@ class Run {
   }
 
   TaskGraph& graph_;
+  const CancelToken cancel_;
   const int n_workers_;
   std::vector<Worker> workers_;
   std::atomic<index_t> remaining_;
@@ -214,13 +219,14 @@ class Run {
 
 }  // namespace
 
-SchedulerStats WorkStealingScheduler::run(TaskGraph& graph) {
+SchedulerStats WorkStealingScheduler::run(TaskGraph& graph,
+                                          CancelToken cancel) {
   graph.seal();
   SchedulerStats stats;
   if (graph.n_tasks() == 0) return stats;
 
   const int n_workers = pool_.size() + 1;  // pool threads + caller
-  Run run(graph, n_workers);
+  Run run(graph, n_workers, std::move(cancel));
   for (int w = 1; w < n_workers; ++w)
     pool_.submit([&run, w] { run.worker_main(w); });
   run.worker_main(0);
@@ -230,9 +236,10 @@ SchedulerStats WorkStealingScheduler::run(TaskGraph& graph) {
   return stats;
 }
 
-SchedulerStats run_graph(TaskGraph& graph, ThreadPool& pool) {
+SchedulerStats run_graph(TaskGraph& graph, ThreadPool& pool,
+                         CancelToken cancel) {
   WorkStealingScheduler sched(pool);
-  return sched.run(graph);
+  return sched.run(graph, std::move(cancel));
 }
 
 }  // namespace parfact::rt

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "runtime/task_graph.h"
+#include "support/resource.h"
 #include "support/thread_pool.h"
 #include "support/types.h"
 
@@ -38,14 +39,21 @@ struct SchedulerStats {
 /// Rethrows the first task exception; remaining tasks are abandoned (their
 /// side effects may be partial — callers treat the operation as failed,
 /// matching the two-phase engine's behaviour on breakdown).
-SchedulerStats run_graph(TaskGraph& graph, ThreadPool& pool);
+///
+/// Cooperative cancellation: workers poll `cancel` once per task, before
+/// running it. A tripped token stops the run within one task granule via
+/// the same drain path as a task exception — in-flight tasks finish, the
+/// rest are abandoned, and StatusError(kCancelled / kDeadlineExceeded) is
+/// rethrown here with the pool immediately reusable.
+SchedulerStats run_graph(TaskGraph& graph, ThreadPool& pool,
+                         CancelToken cancel = {});
 
 /// Reusable form for callers that want to run several graphs on one pool.
 class WorkStealingScheduler {
  public:
   explicit WorkStealingScheduler(ThreadPool& pool) : pool_(pool) {}
 
-  SchedulerStats run(TaskGraph& graph);
+  SchedulerStats run(TaskGraph& graph, CancelToken cancel = {});
 
  private:
   struct Worker;

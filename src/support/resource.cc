@@ -1,0 +1,115 @@
+#include "support/resource.h"
+
+#include <string>
+
+namespace parfact {
+
+bool ResourceBudget::try_reserve(std::size_t bytes) {
+  // CAS loop on live_: admit only if the new total fits under the ceiling.
+  std::size_t cur = live_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t next = cur + bytes;
+    if (limit_ > 0 && next > limit_) return false;
+    if (live_.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      // Raise the high-water mark to at least `next`.
+      std::size_t peak = peak_.load(std::memory_order_relaxed);
+      while (peak < next && !peak_.compare_exchange_weak(
+                                peak, next, std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void ResourceBudget::release(std::size_t bytes) {
+  live_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+Reservation& Reservation::operator=(Reservation&& other) noexcept {
+  if (this != &other) {
+    reset();
+    budget_ = other.budget_;
+    bytes_ = other.bytes_;
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+std::optional<Reservation> Reservation::acquire(ResourceBudget& budget,
+                                                std::size_t bytes) {
+  if (!budget.try_reserve(bytes)) return std::nullopt;
+  return Reservation(&budget, bytes);
+}
+
+void Reservation::reset() {
+  if (budget_ != nullptr) {
+    budget_->release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+bool CancelToken::cancelled() const {
+  if (state_ == nullptr) return false;
+  detail::CancelShared& s = *state_;
+  const std::int64_t poll = s.polls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s.cancelled.load(std::memory_order_acquire)) return true;
+  if (s.trip_after_polls >= 0 && poll >= s.trip_after_polls) {
+    int expected = 0;
+    s.reason.compare_exchange_strong(
+        expected, static_cast<int>(StatusCode::kCancelled),
+        std::memory_order_acq_rel);
+    s.cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+  if (s.has_deadline && std::chrono::steady_clock::now() >= s.deadline) {
+    int expected = 0;
+    s.reason.compare_exchange_strong(
+        expected, static_cast<int>(StatusCode::kDeadlineExceeded),
+        std::memory_order_acq_rel);
+    s.cancelled.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+StatusCode CancelToken::reason() const {
+  if (state_ == nullptr) return StatusCode::kOk;
+  const int r = state_->reason.load(std::memory_order_acquire);
+  return r == 0 ? StatusCode::kOk : static_cast<StatusCode>(r);
+}
+
+void CancelToken::throw_if_cancelled() const {
+  if (!cancelled()) return;
+  const StatusCode code = reason() == StatusCode::kOk ? StatusCode::kCancelled
+                                                      : reason();
+  const char* what = code == StatusCode::kDeadlineExceeded
+                         ? "deadline exceeded during execution"
+                         : "operation cancelled";
+  throw StatusError(Status::failure(code, what));
+}
+
+void CancelSource::request_cancel() {
+  int expected = 0;
+  state_->reason.compare_exchange_strong(
+      expected, static_cast<int>(StatusCode::kCancelled),
+      std::memory_order_acq_rel);
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+void CancelSource::set_deadline_after(double seconds) {
+  state_->deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  state_->has_deadline = true;
+}
+
+void CancelSource::trip_after_polls(std::int64_t n) {
+  state_->trip_after_polls = n;
+}
+
+}  // namespace parfact

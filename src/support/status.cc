@@ -27,6 +27,12 @@ const char* status_code_name(StatusCode code) {
       return "invalid_input";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

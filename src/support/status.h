@@ -29,6 +29,9 @@ enum class StatusCode {
   kNoConvergence,   ///< refinement/CG escalation missed the residual target
   kInvalidInput,    ///< malformed input detected before factorization
   kInternal,        ///< unexpected error escaping a checked entry point
+  kCancelled,          ///< caller requested cooperative cancellation
+  kDeadlineExceeded,   ///< host-clock deadline fired mid-operation
+  kResourceExhausted,  ///< memory budget too small even for OOC spill
 };
 
 /// Short stable name for a code ("ok", "perturbed", ...).

@@ -1,0 +1,51 @@
+// Peak working-set prediction from the symbolic factorization alone.
+//
+// The admission-control layer (mf/governed.h) must decide *before* any
+// numeric allocation whether a factorization fits a memory budget in-core,
+// fits only with the OOC panel spill, or cannot run at all. Both numeric
+// drivers walk the assembly tree in the same postorder the symbolic phase
+// fixed, so their memory profile is fully determined here: this walk mirrors
+// the drivers' own accounting step for step, and `peak_update_bytes` is
+// byte-exact against the `FactorStats::peak_update_bytes` a real run
+// reports (governance_test asserts this).
+#pragma once
+
+#include <cstddef>
+
+#include "support/types.h"
+#include "symbolic/symbolic_factor.h"
+
+namespace parfact {
+
+/// Predicted memory profile of one factorization of `sym`.
+struct WorkingSetEstimate {
+  /// In-core factor storage: all panels (nnz_stored entries) plus the D
+  /// vector when factoring LDLᵀ. Allocated upfront by CholeskyFactor.
+  std::size_t factor_bytes = 0;
+  /// Peak of the multifrontal update stack in the serial postorder — live
+  /// children's contribution blocks plus the front being eliminated.
+  /// Byte-exact vs FactorStats::peak_update_bytes of the in-core driver.
+  std::size_t peak_update_bytes = 0;
+  /// Peak of (update stack + streamed panel buffer) in the OOC driver.
+  /// Byte-exact vs FactorStats::peak_update_bytes of the OOC driver.
+  std::size_t peak_ooc_update_bytes = 0;
+  /// Side allocations both drivers make: the FrontScratch index map and,
+  /// for LDLᵀ, the largest per-front M = L21·D staging buffer.
+  std::size_t scratch_bytes = 0;
+
+  /// Total admission requirement for an in-core run.
+  std::size_t peak_incore_bytes = 0;
+  /// Total admission requirement for an OOC-spill run (panels on disk,
+  /// only the update stack and one streamed panel resident).
+  std::size_t peak_ooc_bytes = 0;
+
+  /// Largest dense front (the in-core floor no schedule can undercut).
+  index_t largest_front = kNone;
+  std::size_t largest_front_bytes = 0;
+};
+
+/// Computes the estimate for a Cholesky (`ldlt == false`) or LDLᵀ run.
+[[nodiscard]] WorkingSetEstimate estimate_working_set(
+    const SymbolicFactor& sym, bool ldlt);
+
+}  // namespace parfact
