@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -24,6 +26,43 @@ namespace {
 
 [[noreturn]] void throw_invalid(const std::string& message) {
   throw StatusError(Status::failure(StatusCode::kInvalidInput, message));
+}
+
+/// Worst componentwise scaled residual max_i |b − Ax|_i / (|A||x| + |b|)_i
+/// of one column (original ordering). The normwise residual can hide a
+/// single corrupted entry in a large solution; the componentwise form is
+/// the standard backward-error measure that cannot — a stable direct solve
+/// keeps it near machine epsilon regardless of conditioning, so anything
+/// above the verify tolerance means the pipeline, not the matrix.
+real_t componentwise_residual(const SparseMatrix& lower,
+                              std::span<const real_t> x,
+                              std::span<const real_t> b) {
+  const index_t n = lower.rows;
+  std::vector<real_t> ax(static_cast<std::size_t>(n));
+  spmv_symmetric_lower(lower, x, ax);
+  std::vector<real_t> scale(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t q = lower.col_ptr[j]; q < lower.col_ptr[j + 1]; ++q) {
+      const index_t i = lower.row_ind[q];
+      const real_t v = std::abs(lower.values[q]);
+      scale[i] += v * std::abs(x[j]);
+      if (i != j) scale[j] += v * std::abs(x[i]);
+    }
+  }
+  real_t worst = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const real_t r = std::abs(b[i] - ax[i]);
+    const real_t s = scale[i] + std::abs(b[i]);
+    const real_t e =
+        s > 0.0 ? r / s
+                : (r > 0.0 ? std::numeric_limits<real_t>::infinity() : 0.0);
+    // Inf/NaN anywhere (an overflowed x makes both r and s infinite, so
+    // e = inf/inf = NaN) is corruption by definition and must not be
+    // washed out by later finite rows.
+    if (!std::isfinite(e)) return std::numeric_limits<real_t>::infinity();
+    if (e > worst) worst = e;
+  }
+  return worst;
 }
 
 /// Batched refinement against a spilled factor, mirroring refine_block():
@@ -187,6 +226,32 @@ Status Solver::factorize() {
   ooc_factor_.reset();
   solve_schedule_.reset();
   reservation_.reset();
+  factor_checksums_ = FactorChecksums{};
+  report_.abft_checks = 0;
+  report_.abft_detections = 0;
+  report_.fronts_recomputed = 0;
+  report_.corruption_detected = false;
+  report_.verify_residual = 0.0;
+
+  if (options_.inject_sdc.has_value() &&
+      options_.inject_sdc->site != SdcSite::kStoredFactor &&
+      !options_.abft) {
+    return Status::failure(
+        StatusCode::kInvalidInput,
+        "inject_sdc with a factorization site requires options.abft — "
+        "without the checksum-carrying engine the flip would be a silent "
+        "wrong answer");
+  }
+  if (options_.abft) {
+    Status status = factorize_abft();
+    if (status.failed()) return status;
+    if (options_.inject_sdc.has_value() &&
+        options_.inject_sdc->site == SdcSite::kStoredFactor &&
+        factor_.has_value()) {
+      inject_factor_bitflip(*sym_, *factor_, *options_.inject_sdc);
+    }
+    return status;
+  }
   budget_ = std::make_unique<ResourceBudget>(options_.memory_budget_bytes);
 
   GovernedOptions gopts;
@@ -227,11 +292,61 @@ Status Solver::factorize() {
   if (result.factor.has_value()) {
     factor_.emplace(std::move(*result.factor));
     build_solve_schedule();  // streamed OOC sweeps don't use the schedule
+    if (options_.inject_sdc.has_value() &&
+        options_.inject_sdc->site == SdcSite::kStoredFactor) {
+      inject_factor_bitflip(*sym_, *factor_, *options_.inject_sdc);
+    }
   } else {
     ooc_factor_.emplace(std::move(*result.ooc));
   }
   reservation_ = std::move(result.reservation);
   return result.status;
+}
+
+Status Solver::factorize_abft() {
+  if (options_.memory_budget_bytes > 0) {
+    return Status::failure(
+        StatusCode::kInvalidInput,
+        "options.abft is incompatible with memory_budget_bytes: the "
+        "checksum-carrying engine is the serial in-core path and has no "
+        "admission ladder");
+  }
+  FactorStats stats;
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
+  AbftOptions aopts;
+  aopts.tolerance = options_.abft_tolerance;
+  if (options_.inject_sdc.has_value() &&
+      options_.inject_sdc->site != SdcSite::kStoredFactor) {
+    aopts.inject = &*options_.inject_sdc;
+  }
+  Status status;
+  try {
+    factor_.emplace(multifrontal_factor_abft(*sym_, &stats,
+                                             options_.factor_kind, pivot,
+                                             aopts, &factor_checksums_,
+                                             arm_cancel_scope()));
+    status = Status::success(stats.pivot_perturbations);
+  } catch (const StatusError& e) {
+    cancel_source_ = CancelSource();
+    // Historical contract: a pivot breakdown still throws; corruption,
+    // cancellation and deadlines come back as diagnosed Status values.
+    if (e.status().code == StatusCode::kBreakdown) throw;
+    factor_checksums_ = FactorChecksums{};
+    return e.status();
+  }
+  cancel_source_ = CancelSource();
+  report_.factor_seconds = stats.seconds;
+  report_.peak_update_bytes = stats.peak_update_bytes;
+  report_.pivot_perturbations = stats.pivot_perturbations;
+  report_.abft_checks = stats.abft_checks;
+  report_.abft_detections = stats.abft_detections;
+  report_.fronts_recomputed = stats.fronts_recomputed;
+  report_.corruption_detected = stats.abft_detections > 0;
+  report_.admission = Admission::kUnlimited;
+  build_solve_schedule();
+  return status;
 }
 
 Status Solver::factorize_and_solve(std::span<const real_t> b, index_t nrhs,
@@ -258,6 +373,9 @@ Status Solver::factorize_and_solve(std::span<const real_t> b, index_t nrhs,
   PivotPolicy pivot;
   pivot.boost = options_.static_pivoting;
   pivot.threshold = options_.pivot_threshold;
+  // Stale at-rest checksums from a previous ABFT factorize() must not judge
+  // the new factor.
+  factor_checksums_ = FactorChecksums{};
   build_solve_schedule();
 
   // Permute into the postordered space, run the fused graph (factor tasks +
@@ -309,6 +427,10 @@ Status Solver::factorize_distributed(int n_ranks,
   report_.comm_idle_wait_seconds = result.run.idle_wait_seconds;
   report_.comm_overlap_efficiency = result.run.overlap_efficiency;
   report_.max_in_flight_messages = result.run.max_in_flight_messages;
+  // The distributed factor carries no at-rest checksums; drop any armed by
+  // a previous ABFT factorize() so verify_and_repair falls back to the full
+  // recompute when asked to heal this factor.
+  factor_checksums_ = FactorChecksums{};
   if (result.status.failed()) {
     factor_.reset();
     solve_schedule_.reset();
@@ -339,8 +461,17 @@ std::vector<real_t> Solver::solve(std::span<const real_t> b) const {
 std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
                                         index_t nrhs) const {
   PARFACT_CHECK_MSG(has_factor(), "solve() before factorize()");
-  const index_t n = sym_->n;
   check_rhs(b.size(), nrhs, "solve_multi");
+  std::vector<real_t> x = solve_permuted(b, nrhs);
+  if (options_.verify != SolverOptions::Verify::kOff) {
+    verify_and_repair(b, nrhs, x);
+  }
+  return x;
+}
+
+std::vector<real_t> Solver::solve_permuted(std::span<const real_t> b,
+                                           index_t nrhs) const {
+  const index_t n = sym_->n;
   std::vector<real_t> pb(b.size());
   for (index_t c = 0; c < nrhs; ++c) {
     const std::size_t off = static_cast<std::size_t>(c) * n;
@@ -353,6 +484,79 @@ std::vector<real_t> Solver::solve_multi(std::span<const real_t> b,
     for (index_t kk = 0; kk < n; ++kk) x[off + total_perm_[kk]] = pb[off + kk];
   }
   return x;
+}
+
+void Solver::verify_and_repair(std::span<const real_t> b, index_t nrhs,
+                               std::vector<real_t>& x) const {
+  const index_t n = sym_->n;
+  const index_t check_cols =
+      options_.verify == SolverOptions::Verify::kFull ? nrhs : 1;
+  const auto measure = [&](const std::vector<real_t>& xs) {
+    real_t worst = 0.0;
+    for (index_t c = 0; c < check_cols; ++c) {
+      const std::size_t off = static_cast<std::size_t>(c) * n;
+      worst = std::max(
+          worst, componentwise_residual(
+                     original_lower_,
+                     {xs.data() + off, static_cast<std::size_t>(n)},
+                     {b.data() + off, static_cast<std::size_t>(n)}));
+    }
+    return worst;
+  };
+  real_t res = measure(x);
+  report_.verify_residual = res;
+  if (res <= options_.verify_tolerance) return;
+  report_.corruption_detected = true;
+
+  // Detect → localize → recompute. With at-rest checksums armed (ABFT
+  // factorize) the corrupt supernode is found and only its subtree is
+  // re-run; otherwise (or when the checksums bless the factor because the
+  // corruption predates them — e.g. a flip during a distributed run) the
+  // whole factor is recomputed from the kept matrix. Either way the
+  // repaired factor is bitwise identical to a clean run, and a result is
+  // only returned once it verifies.
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
+  for (int attempt = 0; attempt < 2 && factor_.has_value(); ++attempt) {
+    bool localized = false;
+    if (!factor_checksums_.empty()) {
+      index_t bad =
+          verify_factor(*sym_, *factor_, factor_checksums_,
+                        options_.abft_tolerance);
+      index_t guard = 0;
+      count_t healed = 0;
+      while (bad != kNone && guard++ <= sym_->n_supernodes) {
+        healed += recompute_subtree(*sym_, bad, options_.factor_kind, pivot,
+                                    *factor_, &factor_checksums_);
+        bad = verify_factor(*sym_, *factor_, factor_checksums_,
+                            options_.abft_tolerance);
+      }
+      if (healed > 0) {
+        report_.fronts_recomputed += healed;
+        localized = true;
+      } else {
+        // The checksums consider the factor intact: they were computed
+        // over already-corrupt data. Drop them and recompute everything.
+        factor_checksums_ = FactorChecksums{};
+      }
+    }
+    if (!localized) {
+      factor_.emplace(
+          multifrontal_factor(*sym_, nullptr, options_.factor_kind, pivot));
+      report_.fronts_recomputed += sym_->n_supernodes;
+    }
+    x = solve_permuted(b, nrhs);
+    res = measure(x);
+    report_.verify_residual = res;
+    if (res <= options_.verify_tolerance) return;
+  }
+  std::ostringstream os;
+  os << "post-solve verification failed: componentwise residual " << res
+     << " exceeds tolerance " << options_.verify_tolerance
+     << " and factor repair did not restore a verifying solution";
+  throw StatusError(
+      Status::failure(StatusCode::kDataCorruption, os.str()));
 }
 
 std::vector<real_t> Solver::solve_batch(std::span<const real_t> b,

@@ -22,6 +22,7 @@
 
 #include "dist/checkpoint.h"
 #include "graph/ordering.h"
+#include "mf/abft.h"
 #include "mf/factor.h"
 #include "mf/governed.h"
 #include "mf/multifrontal.h"
@@ -88,6 +89,32 @@ struct SolverOptions {
   double deadline_seconds = 0.0;
   /// OOC scratch file for budget-driven spill; empty = a unique /tmp path.
   std::string spill_path;
+  /// ABFT checksum-carrying factorization (DESIGN.md §5f): factorize()
+  /// runs the serial engine with a column-sum identity checked after every
+  /// kernel stage; detected corruption is localized to one front and
+  /// repaired by bounded recompute, bitwise identical to a clean run. Also
+  /// arms the at-rest factor checksums that let post-solve verification
+  /// localize storage corruption. Incompatible with memory_budget_bytes
+  /// (the governed ladder has its own engines) — that combination returns
+  /// kInvalidInput.
+  bool abft = false;
+  real_t abft_tolerance = 1e-8;  ///< ABFT identity tolerance
+  /// Post-solve end-to-end verification of solve()/solve_multi() results:
+  /// componentwise scaled residual max_i |b−Ax|_i / (|A||x|+|b|)_i against
+  /// verify_tolerance. kSampled checks the first right-hand side of each
+  /// call; kFull checks every column. On failure the solver verifies the
+  /// stored factor against its checksums, recomputes the corrupt subtree
+  /// (or the whole factor when no checksums are armed), re-solves, and
+  /// only if verification still fails throws kDataCorruption — a silent
+  /// wrong answer is never returned.
+  enum class Verify { kOff, kSampled, kFull };
+  Verify verify = Verify::kOff;
+  real_t verify_tolerance = 1e-8;
+  /// Fault-campaign hook: one seeded single-bit flip injected into the
+  /// numeric pipeline. Factorization sites (kAssembly..kUpdate) require
+  /// abft; kStoredFactor corrupts the in-core factor right after
+  /// factorize() so the at-rest/verify defenses are exercised.
+  std::optional<SdcInjection> inject_sdc;
 };
 
 /// Summary of the last analyze/factorize, in the units the paper reports.
@@ -130,6 +157,15 @@ struct SolverReport {
   double batch_solves_per_second = 0.0;
   double batch_bytes_per_solve = 0.0;
   real_t batch_residual = 0.0;  ///< worst per-column residual (refined)
+  /// SDC defense: ABFT identities evaluated and mismatches detected by the
+  /// last factorize(), fronts recomputed by factor-time or at-rest repair,
+  /// whether any corruption was detected (factor-time or post-solve), and
+  /// the worst componentwise scaled residual of the last verified solve.
+  count_t abft_checks = 0;
+  count_t abft_detections = 0;
+  count_t fronts_recomputed = 0;
+  bool corruption_detected = false;
+  real_t verify_residual = 0.0;
 };
 
 /// Which path of the solve_robust() escalation produced the answer.
@@ -274,11 +310,24 @@ class Solver {
   void solve_postordered(MatrixView x) const;
   [[nodiscard]] std::string spill_path() const;
   void check_rhs(std::size_t b_size, index_t nrhs, const char* fn) const;
+  /// ABFT factorize() path (options.abft): checksum-carrying serial engine.
+  Status factorize_abft();
+  /// Permute → triangular sweeps → permute back (solve_multi's core).
+  [[nodiscard]] std::vector<real_t> solve_permuted(std::span<const real_t> b,
+                                                   index_t nrhs) const;
+  /// Post-solve verification (options.verify): componentwise residual
+  /// check, at-rest factor verification, localized or full recompute,
+  /// re-solve. Throws kDataCorruption only if repair cannot restore a
+  /// verifying answer.
+  void verify_and_repair(std::span<const real_t> b, index_t nrhs,
+                         std::vector<real_t>& x) const;
 
   SolverOptions options_;
   mutable SolverReport report_;  ///< solve_batch() updates batch stats
   std::optional<SymbolicFactor> sym_;
-  std::optional<CholeskyFactor> factor_;
+  /// mutable: verify_and_repair() heals corrupted panels from const solves.
+  mutable std::optional<CholeskyFactor> factor_;
+  mutable FactorChecksums factor_checksums_;  ///< at-rest sums (abft runs)
   std::optional<OocCholeskyFactor> ooc_factor_;  ///< spilled alternative
   std::vector<index_t> total_perm_;  ///< postordered -> original
   SparseMatrix original_lower_;      ///< kept for residuals/refinement

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "support/checksum.h"
 #include "support/error.h"
 
 namespace parfact {
@@ -13,16 +14,6 @@ namespace parfact {
 namespace {
 
 constexpr std::uint64_t kCheckpointMagic = 0x70666b70'74763031ull;  // "pfkptv01"
-
-/// FNV-1a — the same integrity discipline as the OOC scratch writer.
-std::uint64_t fnv1a(const std::byte* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<std::uint64_t>(data[i]);
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
 
 /// Fixed-layout blob prefix. The checksum covers the payload bytes only;
 /// header fields are validated structurally (magic, sizes).

@@ -42,6 +42,9 @@ class CholeskyFactor {
   [[nodiscard]] std::span<const real_t> diag() const { return d_; }
   /// Allocates the D vector (called by the LDLᵀ factorization).
   std::span<real_t> allocate_diag();
+  /// Writable view of D for in-place repair (ABFT subtree recompute);
+  /// empty for plain Cholesky. Does not (re)allocate.
+  [[nodiscard]] std::span<real_t> mutable_diag() { return d_; }
 
  private:
   std::vector<real_t> d_;
@@ -60,6 +63,12 @@ struct FactorStats {
   /// Pivots boosted by static pivoting (0 unless a PivotPolicy with
   /// boosting was supplied and the matrix needed it).
   count_t pivot_perturbations = 0;
+  /// ABFT accounting (zero unless the checksum-carrying engine ran):
+  /// identities evaluated, mismatches detected, and fronts re-executed by
+  /// the detect → localize → recompute path.
+  count_t abft_checks = 0;
+  count_t abft_detections = 0;
+  count_t fronts_recomputed = 0;
 };
 
 }  // namespace parfact

@@ -22,17 +22,34 @@ struct FrontScratch {
       : local_of(static_cast<std::size_t>(n), kNone) {}
 };
 
+/// Split column sums of the child update blocks consumed by assembly,
+/// produced on request by assemble_front (the ABFT engine's
+/// consumption-time verification — the blocks are summed from the very
+/// read the extend-add performs, never re-read). For child i (in fixed
+/// child order) and column cj of its block, entries [4*cj+0..1] hold the
+/// {value, magnitude} sums over the rows that land in the parent's panel
+/// and [4*cj+2..3] the sums over the rows that land in the parent's
+/// update seed; pre+suf is the block column's full lower sum.
+struct AssemblySums {
+  std::vector<std::vector<real_t>> per_child;
+};
+
 /// Stage 1 — assembly: zeroes `update_out` (resized to b x b), scatters the
 /// original matrix columns of supernode s into `panel`, then extend-adds
 /// the children's update blocks *in fixed child order* (the deterministic-
 /// merge discipline: the summation order per element never depends on the
 /// execution schedule). Children's blocks are read, not freed. The scratch
 /// map is restored on every exit path.
+///
+/// With `sums` non-null the extend-add also records each child block's
+/// split column sums (see AssemblySums); the scatter performs the same
+/// cell updates in the same order, so the assembled front is bitwise
+/// identical either way.
 void assemble_front(const SymbolicFactor& sym, index_t s,
                     const std::vector<std::vector<real_t>>& update_of,
                     const std::vector<std::vector<index_t>>& children,
                     MatrixView panel, std::vector<real_t>& update_out,
-                    FrontScratch& scratch);
+                    FrontScratch& scratch, AssemblySums* sums = nullptr);
 
 /// Stage 2 — diagonal-block factorization: POTRF (Cholesky) or LDLᵀ of the
 /// leading p x p block of `panel`; in LDLᵀ mode writes diag(D) for this

@@ -8,26 +8,16 @@
 
 #include "dense/kernels.h"
 #include "mf/front_kernel.h"
+#include "support/checksum.h"
 #include "support/error.h"
 #include "support/status.h"
 #include "support/timer.h"
 
+// Panel writes are guarded by the shared support/checksum FNV-1a — cheap
+// relative to the fwrite it protects and order-sensitive, so any flipped,
+// duplicated or dropped byte changes the digest.
+
 namespace parfact {
-namespace {
-
-/// FNV-1a over the panel bytes — cheap relative to the fwrite it guards and
-/// order-sensitive, so any flipped/duplicated/dropped byte changes it.
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 14695981039346656037ull;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-}  // namespace
 
 OocCholeskyFactor::OocCholeskyFactor(const SymbolicFactor& sym,
                                      std::string path)

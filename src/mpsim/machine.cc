@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "support/checksum.h"
 #include "support/error.h"
 #include "support/status.h"
 
@@ -50,8 +51,12 @@ double fault_roll(std::uint64_t seed, int src, int dest, int tag,
 }
 
 /// Prefix carried by every point-to-point message when faults are active.
+/// The payload digest defends against wire bit flips (FaultPlan::BitFlip
+/// site 0): a corrupted copy fails verification at the receiver and is
+/// discarded exactly like a link loss, so the sender's retry loop heals it.
 struct WireHeader {
   std::uint64_t seq;
+  std::uint64_t payload_checksum;
 };
 
 /// Internal control-flow signal: this rank's virtual clock crossed its
@@ -96,6 +101,14 @@ void validate_plan(const FaultPlan& p, int n_ranks) {
   for (const FaultPlan::Crash& c : p.crashes) {
     if (c.rank < 0 || c.rank >= n_ranks) fail("crash names a nonexistent rank");
     if (!(c.at >= 0.0)) fail("crash time must be >= 0");
+  }
+  for (const FaultPlan::BitFlip& f : p.bit_flips) {
+    if (f.rank < 0 || f.rank >= n_ranks) {
+      fail("bit flip names a nonexistent rank");
+    }
+    if (f.site != 0 && f.site != 1) fail("bit flip site must be 0 or 1");
+    if (f.bit < 0 || f.bit > 63) fail("bit flip bit must lie in [0, 63]");
+    if (!(f.at >= 0.0)) fail("bit flip time must be >= 0");
   }
 }
 
@@ -215,6 +228,8 @@ class Machine {
 
   std::atomic<count_t> total_retransmits_{0};
   std::atomic<count_t> total_dropped_{0};
+  std::atomic<count_t> total_bit_flips_{0};
+  std::atomic<count_t> total_corrupt_discarded_{0};
   std::atomic<count_t> checkpoints_stored_{0};
   std::atomic<count_t> checkpoint_bytes_{0};
   std::atomic<bool> aborted_{false};
@@ -376,13 +391,27 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   const FaultPlan& plan = machine_->plan_;
   const std::uint64_t seq = send_seq_[{dest, tag}]++;
   std::vector<std::byte> wire(sizeof(WireHeader) + bytes);
-  const WireHeader header{seq};
+  const WireHeader header{seq, fnv1a(data, bytes)};
   std::memcpy(wire.data(), &header, sizeof header);
   if (bytes > 0) std::memcpy(wire.data() + sizeof header, data, bytes);
-  auto deliver = [&](double arrival) {
+  // Resolve a pending wire bit flip (BitFlip site 0) for this sender: the
+  // first non-empty payload sent at or after the entry's virtual time gets
+  // exactly one corrupted copy.
+  int flip_index = -1;
+  if (bytes > 0) {
+    for (std::size_t fi = 0; fi < plan.bit_flips.size(); ++fi) {
+      const FaultPlan::BitFlip& f = plan.bit_flips[fi];
+      if (f.site == 0 && f.rank == rank_ && flip_fired_[fi] == 0 &&
+          clock_ >= f.at) {
+        flip_index = static_cast<int>(fi);
+        break;
+      }
+    }
+  }
+  auto deliver_buf = [&](double arrival, const std::vector<std::byte>& buf) {
     Machine::Message msg;
     msg.arrival = arrival;
-    msg.data = wire;  // copy — duplicates may deliver the same bytes again
+    msg.data = buf;  // copy — duplicates may deliver the same bytes again
     auto& box = machine_->boxes_[dest];
     {
       std::lock_guard<std::mutex> lock(box.mu);
@@ -392,9 +421,10 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
     machine_->note_delivered();
     if (!local) {
       machine_->total_messages_.fetch_add(1);
-      machine_->total_bytes_.fetch_add(static_cast<count_t>(wire.size()));
+      machine_->total_bytes_.fetch_add(static_cast<count_t>(buf.size()));
     }
   };
+  auto deliver = [&](double arrival) { deliver_buf(arrival, wire); };
   if (local) {
     // The loopback "link" never faults: a rank cannot lose a memcpy.
     deliver(clock_);
@@ -419,8 +449,26 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
       continue;  // copy lost on the link — back off and retransmit
     }
     if (roll(1) < plan.delay_rate) arrival += plan.delay_seconds;
-    deliver(arrival);
-    delivered = true;
+    if (flip_index >= 0 &&
+        flip_fired_[static_cast<std::size_t>(flip_index)] == 0) {
+      const FaultPlan::BitFlip& f =
+          plan.bit_flips[static_cast<std::size_t>(flip_index)];
+      flip_fired_[static_cast<std::size_t>(flip_index)] = 1;
+      machine_->total_bit_flips_.fetch_add(1);
+      std::vector<std::byte> corrupted = wire;
+      flip_bit_in_bytes(corrupted.data() + sizeof(WireHeader), bytes, f.word,
+                        f.bit);
+      deliver_buf(arrival, corrupted);
+      // With wire checksums on the receiver discards the corrupt copy
+      // without advancing its stream — behave like a lost copy and
+      // retransmit clean after backoff. Without them, the flip is a silent
+      // delivery the end-to-end layers must catch.
+      if (plan.wire_checksums) continue;
+      delivered = true;
+    } else {
+      deliver(arrival);
+      delivered = true;
+    }
     if (roll(2) < plan.duplicate_rate) {
       deliver(arrival + machine_->model_.alpha);  // link-duplicated copy
     }
@@ -550,6 +598,15 @@ bool Comm::fetch_message(int source, int tag, bool blocking, bool bounded,
       PARFACT_CHECK_MSG(header.seq < expected,
                         "mpsim: out-of-order sequence number");
       continue;  // duplicate of an already-accepted copy
+    }
+    if (plan.wire_checksums &&
+        header.payload_checksum != fnv1a(msg.data.data() + sizeof header,
+                                         msg.data.size() - sizeof header)) {
+      // Payload digest mismatch: an injected (or modeled) wire bit flip.
+      // Discard without advancing the stream — the sender resolved the
+      // corrupt copy as undelivered and will retransmit a clean one.
+      machine_->total_corrupt_discarded_.fetch_add(1);
+      continue;
     }
     ++expected;
     lock.unlock();
@@ -840,10 +897,31 @@ void Comm::checkpoint_save(int buddy, std::vector<std::byte> blob) {
   PARFACT_CHECK(buddy >= 0 && buddy < machine_->n_);
   // The protocol snapshot records sequence counters and log cursors, not
   // posted-receive tickets: a checkpoint with receives still outstanding
-  // could not be resumed faithfully, so it is a caller bug.
-  PARFACT_CHECK_MSG(pending_irecvs_ == 0,
-                    "mpsim: checkpoint_save with irecvs outstanding");
+  // could not be resumed faithfully. Diagnosed rather than asserted so a
+  // caller composing resilience with nonblocking lookahead gets a clean
+  // kInvalidInput it can act on instead of an abort.
+  if (pending_irecvs_ != 0) {
+    std::ostringstream os;
+    os << "mpsim: rank " << rank_ << " called checkpoint_save with "
+       << pending_irecvs_
+       << " irecv(s) outstanding; complete or drain every posted receive "
+          "before checkpointing";
+    throw StatusError(Status::failure(StatusCode::kInvalidInput, os.str()));
+  }
   machine_->check_abort();
+  // BitFlip site 1: corrupt the blob before it becomes durable. The flip
+  // is detected only if this checkpoint is ever restored — the blob codec
+  // checksums its payload and diagnoses kDataCorruption at decode time.
+  const FaultPlan& plan = machine_->plan_;
+  for (std::size_t fi = 0; fi < plan.bit_flips.size(); ++fi) {
+    const FaultPlan::BitFlip& f = plan.bit_flips[fi];
+    if (f.site == 1 && f.rank == rank_ && !flip_fired_.empty() &&
+        flip_fired_[fi] == 0 && clock_ >= f.at && !blob.empty()) {
+      flip_fired_[fi] = 1;
+      machine_->total_bit_flips_.fetch_add(1);
+      flip_bit_in_bytes(blob.data(), blob.size(), f.word, f.bit);
+    }
+  }
   const count_t bytes = static_cast<count_t>(blob.size());
   if (buddy != rank_) {
     // Synchronous ship to the buddy's memory: the checkpoint must be
@@ -1045,6 +1123,7 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   for (int r = 0; r < n_total; ++r) {
     comms.push_back(Comm(&machine, r));
     comms.back().stall_fired_.assign(faults.stalls.size(), 0);
+    comms.back().flip_fired_.assign(faults.bit_flips.size(), 0);
     double at = std::numeric_limits<double>::infinity();
     if (r < n_ranks) {
       for (const FaultPlan::Crash& c : faults.crashes) {
@@ -1152,6 +1231,8 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   stats.total_bytes = machine.total_bytes_.load();
   stats.total_retransmits = machine.total_retransmits_.load();
   stats.total_dropped = machine.total_dropped_.load();
+  stats.total_bit_flips = machine.total_bit_flips_.load();
+  stats.total_corrupt_discarded = machine.total_corrupt_discarded_.load();
   stats.rank_crashes = static_cast<count_t>(machine.failed_.size());
   stats.ranks_recovered = static_cast<count_t>(machine.recovered_.size());
   stats.checkpoints_stored = machine.checkpoints_stored_.load();

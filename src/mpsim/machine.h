@@ -61,6 +61,8 @@ struct RunStats {
   std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
   count_t total_retransmits = 0;  ///< fault-injected extra transmissions
   count_t total_dropped = 0;      ///< fault-injected message losses
+  count_t total_bit_flips = 0;    ///< injected bit flips that struck
+  count_t total_corrupt_discarded = 0;  ///< wire copies failing checksum
   count_t rank_crashes = 0;       ///< injected rank crashes that fired
   count_t ranks_recovered = 0;    ///< crashed ranks taken over by a spare
   count_t checkpoints_stored = 0; ///< buddy checkpoints accepted
@@ -125,6 +127,28 @@ struct FaultPlan {
     double at = 0.0;
   };
   std::vector<Crash> crashes;
+  /// Single-bit silent-data-corruption fault. Site 0 flips one bit of one
+  /// wire payload: the first fault-path message `rank` sends at or after
+  /// virtual time `at` (word selects the flipped 8-byte word, wrapped to
+  /// the payload size). With `wire_checksums` on, the receiver detects the
+  /// mismatch, discards the copy like a link loss and the sender's retry
+  /// loop retransmits a clean copy — the run stays bitwise identical; with
+  /// checksums off the flip is delivered silently (the end-to-end ABFT /
+  /// verify layers must catch it downstream). Site 1 flips one bit of the
+  /// next checkpoint blob `rank` stores; a spare restoring from it gets a
+  /// diagnosed kDataCorruption.
+  struct BitFlip {
+    int rank = 0;
+    double at = 0.0;
+    int site = 0;            ///< 0 = wire payload, 1 = checkpoint blob
+    std::uint64_t word = 0;  ///< 8-byte word index within the payload
+    int bit = 62;            ///< bit within the word (62: exponent MSB)
+  };
+  std::vector<BitFlip> bit_flips;
+  /// Payload FNV-1a digests on the fault-path wire format (site-0 defense).
+  /// On by default; campaigns switch it off to measure what an undefended
+  /// wire lets through.
+  bool wire_checksums = true;
   /// Standby ranks available to adopt crashed ranks (see Comm::await_failure).
   /// Rank programs must handle Comm::is_spare() when this is nonzero.
   int spare_ranks = 0;
@@ -139,7 +163,7 @@ struct FaultPlan {
   [[nodiscard]] bool active() const {
     return drop_rate > 0.0 || duplicate_rate > 0.0 || delay_rate > 0.0 ||
            ack_drop_rate > 0.0 || !stalls.empty() || !crashes.empty() ||
-           spare_ranks > 0;
+           !bit_flips.empty() || spare_ranks > 0;
   }
 };
 
@@ -393,6 +417,7 @@ class Comm {
   std::map<std::pair<int, int>, std::uint64_t> recv_seq_;
   std::map<std::pair<int, int>, std::size_t> consumed_;
   std::vector<char> stall_fired_;
+  std::vector<char> flip_fired_;  ///< which plan BitFlip entries struck here
 };
 
 }  // namespace parfact::mpsim

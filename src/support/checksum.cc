@@ -1,0 +1,43 @@
+#include "support/checksum.h"
+
+#include <cstring>
+
+namespace parfact {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+real_t flip_bit(real_t value, int bit) {
+  static_assert(sizeof(real_t) == sizeof(std::uint64_t));
+  std::uint64_t u = 0;
+  std::memcpy(&u, &value, sizeof(u));
+  u ^= std::uint64_t{1} << (bit & 63);
+  std::memcpy(&value, &u, sizeof(u));
+  return value;
+}
+
+void flip_bit_in_bytes(void* data, std::size_t bytes, std::uint64_t word,
+                       int bit) {
+  if (bytes == 0) return;
+  bit &= 63;
+  const std::size_t words = bytes / 8;
+  std::size_t byte;
+  if (words > 0) {
+    byte = static_cast<std::size_t>(word % words) * 8 +
+           static_cast<std::size_t>(bit / 8);
+    if (byte >= bytes) byte = bytes - 1;
+  } else {
+    byte = static_cast<std::size_t>(bit / 8) % bytes;
+  }
+  static_cast<unsigned char*>(data)[byte] ^=
+      static_cast<unsigned char>(1u << (bit % 8));
+}
+
+}  // namespace parfact

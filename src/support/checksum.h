@@ -1,0 +1,53 @@
+// Shared integrity primitives for the corruption-defense layer.
+//
+// Two families live here. `fnv1a` is the byte-stream hash that guards
+// *stored or transmitted* bytes (OOC panels, checkpoint blobs, mpsim wire
+// payloads): any flipped bit changes the digest, so mismatch means the
+// bytes are not what was written. The ABFT helpers guard *computed*
+// numbers, where a hash is useless because the bits legitimately change:
+// Huang-Abraham column-sum identities relate kernel outputs to inputs
+// through the same linear algebra the kernel performs, so a corrupted
+// output breaks the identity by far more than rounding ever can. The
+// mismatch predicate and the bit-flip injectors used by the fault
+// campaigns are here too, so every module agrees on one tolerance rule
+// and one flip encoding.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/types.h"
+
+namespace parfact {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// FNV-1a over a byte range. `seed` lets callers chain ranges into one
+/// rolling digest (pass the previous digest back in).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                  std::uint64_t seed = kFnv1aOffsetBasis);
+
+/// ABFT acceptance test: does `actual` match `predicted` to within
+/// `tol * (scale + 1)`, where `scale` is the absolute-value counterpart of
+/// the predicted sum? Written so NaN/Inf on either side count as a
+/// mismatch (an exponent-bit flip often lands there).
+[[nodiscard]] inline bool abft_mismatch(real_t actual, real_t predicted,
+                                        real_t scale, real_t tol) {
+  const real_t diff = std::abs(actual - predicted);
+  return !(diff <= tol * (scale + real_t{1}));
+}
+
+/// Returns `value` with one bit of its IEEE-754 representation flipped.
+/// Bit 62 (the top exponent bit) is the canonical worst case: it turns
+/// O(1) values into ~1e308 or Inf/NaN and is always detectable.
+[[nodiscard]] real_t flip_bit(real_t value, int bit);
+
+/// Flips one bit inside an arbitrary byte buffer; `word` selects an
+/// 8-byte word (wrapped to the buffer size), `bit` a bit within it.
+/// No-op on an empty buffer.
+void flip_bit_in_bytes(void* data, std::size_t bytes, std::uint64_t word,
+                       int bit);
+
+}  // namespace parfact
