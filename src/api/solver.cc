@@ -427,6 +427,12 @@ Status Solver::factorize_distributed(int n_ranks,
   report_.comm_idle_wait_seconds = result.run.idle_wait_seconds;
   report_.comm_overlap_efficiency = result.run.overlap_efficiency;
   report_.max_in_flight_messages = result.run.max_in_flight_messages;
+  report_.comm_wait_any_calls = 0;
+  for (const count_t c : result.run.wait_any_calls) {
+    report_.comm_wait_any_calls += c;
+  }
+  report_.comm_messages_out_of_order =
+      result.run.messages_completed_out_of_order;
   // The distributed factor carries no at-rest checksums; drop any armed by
   // a previous ABFT factorize() so verify_and_repair falls back to the full
   // recompute when asked to heal this factor.

@@ -149,6 +149,14 @@ struct SolverReport {
   double comm_idle_wait_seconds = 0.0;
   double comm_overlap_efficiency = 1.0;
   count_t max_in_flight_messages = 0;
+  /// factorize_distributed() only: fan-both pool diagnostics. wait_any
+  /// calls is the total (summed over ranks) number of Comm::wait_any pool
+  /// waits the schedule issued; out-of-order counts messages that arrived
+  /// earlier than a message posted before them in the same pool (how much
+  /// reordering the arrival-buffering had to absorb). Both are zero for
+  /// the kBlocking/kLookahead schedules, which never use a pool.
+  count_t comm_wait_any_calls = 0;
+  count_t comm_messages_out_of_order = 0;
   /// solve_batch() only: throughput of the last batch. bytes/solve counts
   /// the factor-panel and workspace traffic of the blocked sweeps divided
   /// by the number of right-hand sides — the amortization the batch buys.

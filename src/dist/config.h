@@ -11,11 +11,13 @@ struct DistConfig {
   enum class Schedule {
     kBlocking,   ///< fully synchronous right-looking loop (PR 1 behavior)
     kLookahead,  ///< depth-1 panel lookahead with preposted receives
-    kTaskDag,    ///< asynchronous task-DAG replay: extend-add arrivals become
-                 ///< per-panel pipelined floors (no collective assembly
-                 ///< barrier). Replay-only — dist_factor rejects it; it models
-                 ///< the shared-memory runtime's schedule (src/runtime) at
-                 ///< distributed scale for the perf module.
+    kTaskDag,    ///< fan-both: children stream one extend-add message per
+                 ///< destination panel, the parent consumes them as they
+                 ///< arrive (Comm::wait_any over a preposted pool) and merges
+                 ///< each panel in fixed (child, source-rank) order just
+                 ///< before its first touch — no collective assembly barrier.
+                 ///< Executed by dist_factor since PR 9; perf/dag_sim replays
+                 ///< the same per-panel floor discipline for large-P studies.
   };
   /// Wire format of the child → parent extend-add contributions.
   enum class ExtendAddFormat {

@@ -24,6 +24,11 @@ namespace {
 constexpr int kTagExtendAdd = 0;
 constexpr int kTagDiag = 1;
 constexpr int kTagPanel = 2;
+/// Fan-both per-panel extend-add streams (kTaskDag). The tag is keyed by
+/// (parent, child index) — see RankProgram::ea_stream_tag — so a source
+/// rank participating in two children of one parent gets two distinct
+/// FIFO channels.
+constexpr int kTagEaStream = 3;
 constexpr int kTagStride = 8;
 
 struct EntryTriple {
@@ -139,6 +144,22 @@ class RankProgram {
     const auto [gr, gc] = map_.grid_coords(s, comm_.rank());
     LocalFront front(fb, pr, pc, gr, gc);
     comm_.memory_add(front.bytes());
+
+    if (config_.schedule == DistConfig::Schedule::kTaskDag) {
+      // Fan-both: prepost the per-panel extend-add pool before touching the
+      // matrix entries, merge each panel just before its first touch
+      // (inside factorize_taskdag), then stream this front's own
+      // contributions per destination panel. The pool is fully drained by
+      // the end of the factorization, so the checkpoint boundary below sees
+      // no outstanding receives.
+      EaStreams ea = build_ea_streams(s, fb);
+      assemble_matrix_entries(s, front);
+      factorize_taskdag(s, front, pr, pc, gr, gc, ea);
+      store_panel(s, front);
+      send_update_taskdag(s, front, gr, gc);
+      comm_.memory_sub(front.bytes());
+      return;
+    }
 
     // Lookahead schedule: prepost one receive per (child, source rank)
     // extend-add message before touching the matrix entries, so the
@@ -690,6 +711,220 @@ class RankProgram {
     }
   }
 
+  /// Per-front fan-both extend-add pool: one preposted irecv per non-empty
+  /// (destination panel, child, source rank) stream message. Slots (and
+  /// requests) are ordered (panel, child, source) ascending — need order,
+  /// so wait_any's blocking case always targets the next message a merge
+  /// requires — and per (source, tag) channel that order is panel-ascending,
+  /// matching the sender's panel-ascending send loop, so FIFO tickets line
+  /// up with message identity.
+  struct EaStreams {
+    struct Slot {
+      index_t panel = 0;          ///< destination parent block column
+      std::size_t child_pos = 0;  ///< index into children_[s] (tag key)
+      int src = -1;               ///< sending child rank
+      /// This rank's (row, col) targets in canonical order restricted to
+      /// this slot — the packed payload's implicit index header. Triples
+      /// carry indices on the wire; the list then only pins the expected
+      /// entry count.
+      std::vector<std::pair<index_t, index_t>> targets;
+      std::vector<real_t> values;        ///< packed payload, once arrived
+      std::vector<EntryTriple> triples;  ///< triples payload, once arrived
+    };
+    std::vector<Slot> slots;
+    std::vector<mpsim::Request> reqs;  ///< parallel to slots (posting order)
+    /// Slots of panel p occupy [panel_begin[p], panel_begin[p + 1]).
+    std::vector<std::size_t> panel_begin;
+    index_t next_panel = 0;    ///< first panel not yet merged
+    std::size_t drained = 0;   ///< every request below this index is done
+  };
+
+  /// Tag of the fan-both extend-add stream from child #child_pos of parent
+  /// front `parent`. All panels of one (child, source) stream share the
+  /// channel; the child *index* — not the child supernode — keys it so a
+  /// source rank serving two children of one parent gets two distinct FIFO
+  /// channels, and the n_supernodes multiplier keeps the space disjoint
+  /// from every kTagStride * s tag of the other purposes.
+  [[nodiscard]] int ea_stream_tag(index_t parent,
+                                  std::size_t child_pos) const {
+    return kTagStride *
+               static_cast<int>(parent +
+                                sym_.n_supernodes *
+                                    static_cast<index_t>(child_pos)) +
+           kTagEaStream;
+  }
+
+  /// Enumerates every child cell once, bucketing this rank's owned targets
+  /// by destination panel, then posts the pool in (panel, child, source)
+  /// order. Both endpoints derive each stream message's content — and which
+  /// are empty and never sent — from the symbolic structure alone.
+  [[nodiscard]] EaStreams build_ea_streams(index_t s,
+                                           const FrontBlocking& fb) {
+    EaStreams ea;
+    ea.panel_begin.assign(static_cast<std::size_t>(fb.nB) + 1,
+                          0);
+    if (children_[s].empty()) return ea;
+    // per_cell[child_pos][src - begin][panel] -> target list for this rank.
+    std::vector<std::vector<std::vector<
+        std::vector<std::pair<index_t, index_t>>>>> per_cell(
+        children_[s].size());
+    for (std::size_t cp = 0; cp < children_[s].size(); ++cp) {
+      const index_t c = children_[s][cp];
+      const ExtendAddPlan plan = make_extend_add_plan(sym_, map_, c);
+      const int begin = map_.rank_begin[c];
+      const int count = map_.rank_count[c];
+      per_cell[cp].resize(static_cast<std::size_t>(count));
+      for (int src = begin; src < begin + count; ++src) {
+        auto& buckets = per_cell[cp][static_cast<std::size_t>(src - begin)];
+        buckets.resize(static_cast<std::size_t>(fb.nB));
+        const auto [sgr, sgc] = map_.grid_coords(c, src);
+        for_each_panel_contribution(
+            plan, map_, sgr, sgc,
+            [&](index_t, index_t, index_t, index_t, index_t row,
+                index_t col, int owner, index_t panel) {
+              if (owner != comm_.rank()) return;
+              buckets[static_cast<std::size_t>(panel)].emplace_back(row,
+                                                                    col);
+            });
+      }
+    }
+    for (index_t p = 0; p < fb.nB; ++p) {
+      ea.panel_begin[static_cast<std::size_t>(p)] = ea.slots.size();
+      for (std::size_t cp = 0; cp < children_[s].size(); ++cp) {
+        const index_t c = children_[s][cp];
+        const int begin = map_.rank_begin[c];
+        const int end = begin + map_.rank_count[c];
+        for (int src = begin; src < end; ++src) {
+          auto& targets = per_cell[cp][static_cast<std::size_t>(
+              src - begin)][static_cast<std::size_t>(p)];
+          if (targets.empty()) continue;
+          EaStreams::Slot slot;
+          slot.panel = p;
+          slot.child_pos = cp;
+          slot.src = src;
+          slot.targets = std::move(targets);
+          ea.slots.push_back(std::move(slot));
+        }
+      }
+    }
+    ea.panel_begin[static_cast<std::size_t>(fb.nB)] = ea.slots.size();
+    ea.reqs.reserve(ea.slots.size());
+    for (const EaStreams::Slot& slot : ea.slots) {
+      ea.reqs.push_back(
+          comm_.irecv(slot.src, ea_stream_tag(s, slot.child_pos)));
+    }
+    return ea;
+  }
+
+  /// Moves a completed request's payload into its slot (wait on a done
+  /// request returns immediately with the buffered bytes).
+  void extract_slot(EaStreams& ea, std::size_t idx) {
+    EaStreams::Slot& slot = ea.slots[idx];
+    if (config_.extend_add == DistConfig::ExtendAddFormat::kTriples) {
+      slot.triples = comm_.wait_vec<EntryTriple>(ea.reqs[idx]);
+    } else {
+      slot.values = comm_.wait_vec<real_t>(ea.reqs[idx]);
+    }
+  }
+
+  /// Drains the pool through panel jb — buffering whatever else wait_any's
+  /// fast path happens to harvest — then merges every not-yet-merged panel
+  /// ≤ jb into the front, each in fixed (child, source-rank) slot order
+  /// regardless of arrival order. Per scalar the addition order is exactly
+  /// the blocking schedule's: at most one entry per (child, source) message
+  /// (extend_add.h), applied children-ascending then source-ascending.
+  void ensure_assembled(index_t jb, LocalFront& front, EaStreams& ea) {
+    if (ea.next_panel > jb) return;
+    const std::size_t end =
+        ea.panel_begin[static_cast<std::size_t>(jb) + 1];
+    for (;;) {
+      while (ea.drained < end && ea.reqs[ea.drained].done()) ++ea.drained;
+      if (ea.drained >= end) break;
+      extract_slot(ea, comm_.wait_any(ea.reqs));
+    }
+    for (; ea.next_panel <= jb; ++ea.next_panel) {
+      const std::size_t p0 =
+          ea.panel_begin[static_cast<std::size_t>(ea.next_panel)];
+      const std::size_t p1 =
+          ea.panel_begin[static_cast<std::size_t>(ea.next_panel) + 1];
+      for (std::size_t i = p0; i < p1; ++i) {
+        EaStreams::Slot& slot = ea.slots[i];
+        if (config_.extend_add == DistConfig::ExtendAddFormat::kTriples) {
+          PARFACT_CHECK_MSG(slot.triples.size() == slot.targets.size(),
+                            "fan-both triples stream size mismatch");
+          for (const EntryTriple& t : slot.triples) {
+            front.add_entry(t.row, t.col, t.value);
+          }
+          comm_.advance_bytes(static_cast<count_t>(slot.triples.size()) *
+                              static_cast<count_t>(sizeof(EntryTriple)));
+          slot.triples = {};
+        } else {
+          PARFACT_CHECK_MSG(slot.values.size() == slot.targets.size(),
+                            "fan-both packed stream size mismatch");
+          for (std::size_t k = 0; k < slot.targets.size(); ++k) {
+            front.add_entry(slot.targets[k].first, slot.targets[k].second,
+                            slot.values[k]);
+          }
+          comm_.advance_bytes(static_cast<count_t>(slot.values.size()) *
+                              static_cast<count_t>(sizeof(real_t)));
+          slot.values = {};
+        }
+      }
+    }
+  }
+
+  /// Fan-both schedule: the depth-1 lookahead pipeline (same panel
+  /// broadcasts, same urgent/lazy trailing-update split, same per-channel
+  /// send orders) with the collective extend-add barrier dissolved into
+  /// per-panel arrival floors. Where blocking/lookahead wait for every
+  /// child contribution before the first panel factors, this schedule
+  /// merges each destination panel just before its first touch: panel 0
+  /// before factor_column(0), panel kb+1 before its urgent update, and
+  /// each lazily-updated column inside the lazy sweep — so factoring
+  /// starts while children are still streaming their later panels. Per
+  /// scalar the addition order is exactly factorize_blocking's (A-scatter,
+  /// then child contributions in fixed (child, source-rank) order, then
+  /// panel updates ascending kb with identical operands), so the factor is
+  /// bitwise identical.
+  void factorize_taskdag(index_t s, LocalFront& front, int pr, int pc,
+                         int gr, int gc, EaStreams& ea) {
+    const FrontBlocking& fb = front.blocking();
+    if (fb.kp > 0) {
+      ensure_assembled(0, front, ea);
+      PanelState cur;
+      post_panel_receives(s, fb, pr, pc, gr, gc, 0, cur);
+      factor_column(s, front, pr, pc, gr, gc, 0, cur);
+      for (index_t kb = 0; kb < fb.kp; ++kb) {
+        collect_panels(fb, kb, cur);
+        if (kb + 1 < fb.nB) ensure_assembled(kb + 1, front, ea);
+        update_block_columns(s, front, pr, pc, gr, gc, kb, cur, kb + 1,
+                             std::min<index_t>(kb + 2, fb.nB));
+        if (kb + 1 < fb.kp) {
+          PanelState next;
+          post_panel_receives(s, fb, pr, pc, gr, gc, kb + 1, next);
+          factor_column(s, front, pr, pc, gr, gc, kb + 1, next);
+          for (index_t jb = kb + 2; jb < fb.nB; ++jb) {
+            ensure_assembled(jb, front, ea);
+            update_block_columns(s, front, pr, pc, gr, gc, kb, cur, jb,
+                                 jb + 1);
+          }
+          cur = std::move(next);
+        } else {
+          for (index_t jb = kb + 2; jb < fb.nB; ++jb) {
+            ensure_assembled(jb, front, ea);
+            update_block_columns(s, front, pr, pc, gr, gc, kb, cur, jb,
+                                 jb + 1);
+          }
+        }
+      }
+    }
+    // Full drain (mostly a no-op — the sweeps above ensured every panel a
+    // trailing update touches): the checkpoint boundary after this front
+    // requires every posted receive to be complete, including streams into
+    // panels no update ever touched.
+    if (!ea.slots.empty()) ensure_assembled(fb.nB - 1, front, ea);
+  }
+
   /// True iff grid row `ri` owns any block (ib, kb) with ib > kb.
   static bool column_has_blocks_below(const FrontBlocking& fb, index_t kb,
                                       int ri, int pr) {
@@ -808,6 +1043,91 @@ class RankProgram {
     }
   }
 
+  /// Fan-both counterpart of send_update: the same canonical enumeration,
+  /// bucketed by (destination parent rank, destination panel), one message
+  /// per non-empty bucket. The outer loop walks panels ascending so each
+  /// (source → destination, tag) channel carries its stream messages in
+  /// panel order — the order the parent posts that channel's receives.
+  /// Empty buckets are skipped on both endpoints (extend_add.h), so no
+  /// message ever exists for them.
+  void send_update_taskdag(index_t s, LocalFront& front, int gr, int gc) {
+    const index_t parent = sym_.sn_parent[s];
+    if (parent == kNone) return;
+    const ExtendAddPlan plan = make_extend_add_plan(sym_, map_, s);
+    const int pbegin = map_.rank_begin[parent];
+    const int pcount = map_.rank_count[parent];
+    const auto& siblings = children_[parent];
+    const std::size_t child_pos = static_cast<std::size_t>(
+        std::find(siblings.begin(), siblings.end(), s) - siblings.begin());
+    PARFACT_CHECK(child_pos < siblings.size());
+    const int tag = ea_stream_tag(parent, child_pos);
+    const index_t pnB = plan.pfb.nB;
+
+    index_t cur_ib = kNone, cur_jb = kNone;
+    MatrixView blk{};
+    const auto block_at = [&](index_t ib, index_t jb) -> const MatrixView& {
+      if (ib != cur_ib || jb != cur_jb) {
+        blk = front.block(ib, jb);
+        cur_ib = ib;
+        cur_jb = jb;
+      }
+      return blk;
+    };
+    const auto bucket_of = [&](int owner, index_t panel) -> std::size_t {
+      return static_cast<std::size_t>(owner - pbegin) *
+                 static_cast<std::size_t>(pnB) +
+             static_cast<std::size_t>(panel);
+    };
+
+    if (config_.extend_add == DistConfig::ExtendAddFormat::kTriples) {
+      std::vector<std::vector<EntryTriple>> outbox(
+          static_cast<std::size_t>(pcount) * static_cast<std::size_t>(pnB));
+      for_each_panel_contribution(
+          plan, map_, gr, gc,
+          [&](index_t ib, index_t jb, index_t i, index_t j, index_t row,
+              index_t col, int owner, index_t panel) {
+            outbox[bucket_of(owner, panel)].push_back(
+                EntryTriple{row, col, block_at(ib, jb).at(i, j)});
+          });
+      for (index_t p = 0; p < pnB; ++p) {
+        for (int d = 0; d < pcount; ++d) {
+          const auto& msg = outbox[bucket_of(pbegin + d, p)];
+          if (msg.empty()) continue;
+          const count_t bytes = static_cast<count_t>(msg.size()) *
+                                static_cast<count_t>(sizeof(EntryTriple));
+          ckpt_.note_contribution(msg.data(),
+                                  static_cast<std::size_t>(bytes));
+          comm_.send_vec(pbegin + d, tag, msg);
+          ea_bytes_ += bytes;
+          ea_entries_ += static_cast<count_t>(msg.size());
+        }
+      }
+    } else {
+      std::vector<std::vector<real_t>> outbox(
+          static_cast<std::size_t>(pcount) * static_cast<std::size_t>(pnB));
+      for_each_panel_contribution(
+          plan, map_, gr, gc,
+          [&](index_t ib, index_t jb, index_t i, index_t j, index_t,
+              index_t, int owner, index_t panel) {
+            outbox[bucket_of(owner, panel)].push_back(
+                block_at(ib, jb).at(i, j));
+          });
+      for (index_t p = 0; p < pnB; ++p) {
+        for (int d = 0; d < pcount; ++d) {
+          const auto& msg = outbox[bucket_of(pbegin + d, p)];
+          if (msg.empty()) continue;
+          const count_t bytes = static_cast<count_t>(msg.size()) *
+                                static_cast<count_t>(sizeof(real_t));
+          ckpt_.note_contribution(msg.data(),
+                                  static_cast<std::size_t>(bytes));
+          comm_.send_vec(pbegin + d, tag, msg);
+          ea_bytes_ += bytes;
+          ea_entries_ += static_cast<count_t>(msg.size());
+        }
+      }
+    }
+  }
+
   const SymbolicFactor& sym_;
   const FrontMap& map_;
   CholeskyFactor& factor_;
@@ -833,13 +1153,6 @@ DistFactorResult distributed_factor(const SymbolicFactor& sym,
                                     const mpsim::FaultPlan& faults,
                                     const ResiliencePolicy& resilience,
                                     const DistConfig& config) {
-  // kTaskDag exists only as a replay schedule for the perf module: the real
-  // message-passing engine has no out-of-order task execution, so silently
-  // running kLookahead instead would misreport what was measured.
-  PARFACT_CHECK_MSG(config.schedule != DistConfig::Schedule::kTaskDag,
-                    "DistConfig::Schedule::kTaskDag is replay-only "
-                    "(simulate_factor_time); distributed_factor executes "
-                    "kBlocking or kLookahead");
   validate_resilience_policy(resilience);
   pivot = resolve_pivot_policy(pivot, sym.a);
   DistFactorResult result(sym);

@@ -84,4 +84,29 @@ void for_each_contribution(const ExtendAddPlan& plan, const FrontMap& map,
   }
 }
 
+/// Per-panel variant for the fan-both streaming wire format: like
+/// for_each_contribution, with the destination *parent block column*
+/// (panel) appended:
+///   fn(ib, jb, i, j, row, col, owner, panel)
+/// where panel = pfb.block_of(col). Splitting one child-rank → parent-rank
+/// message into per-panel messages along this key is order-preserving per
+/// scalar: within one (child, source) cell each parent entry is produced at
+/// most once (the enumeration emits distinct lower-triangle child entries
+/// and parent_index is injective), so filtering the canonical order by
+/// (owner, panel) leaves every entry's single addition in place. Both
+/// endpoints can therefore derive each per-panel message's content — and in
+/// particular which (owner, panel) messages are empty and never sent — from
+/// the symbolic structure alone.
+template <typename Fn>
+void for_each_panel_contribution(const ExtendAddPlan& plan,
+                                 const FrontMap& map, int gr, int gc,
+                                 Fn&& fn) {
+  for_each_contribution(
+      plan, map, gr, gc,
+      [&](index_t ib, index_t jb, index_t i, index_t j, index_t row,
+          index_t col, int owner) {
+        fn(ib, jb, i, j, row, col, owner, plan.pfb.block_of(col));
+      });
+}
+
 }  // namespace parfact

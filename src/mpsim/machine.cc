@@ -733,6 +733,66 @@ std::vector<std::vector<std::byte>> Comm::wait_all(std::vector<Request>& rs) {
   return out;
 }
 
+std::size_t Comm::wait_any(std::vector<Request>& rs) {
+  machine_->check_abort();
+  ++wait_any_calls_;
+  // Fast path: claim an already-arrived message in posting order, without
+  // advancing the clock. Whether a virtually-arrived message is physically
+  // visible yet depends on host scheduling, but test() is clock-neutral, so
+  // the rank's virtual trajectory is the same either way — a miss here only
+  // defers the completion to a later, deterministic wait.
+  std::size_t first_pending = rs.size();
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    Request& r = rs[i];
+    if (!r.active_ || r.done_) continue;
+    if (first_pending == rs.size()) first_pending = i;
+    if (test(r)) {
+      note_pool_drained(rs);
+      return i;
+    }
+  }
+  PARFACT_CHECK_MSG(first_pending < rs.size(),
+                    "mpsim: wait_any with no incomplete request in the pool");
+  // Blocking path: wait the earliest-posted incomplete request. Pools are
+  // posted in need order, so this is the next message the caller cannot
+  // proceed without — and the choice is host-independent, which keeps the
+  // clock/idle accounting deterministic (the completion only ever does
+  // clock = max(clock, arrival)).
+  Request& r = rs[first_pending];
+  Channel& ch = channels_[{r.peer_, r.tag_}];
+  auto it = ch.staged.find(r.ticket_);
+  if (it == ch.staged.end()) {
+    const bool ok =
+        fill_channel(ch, r.peer_, r.tag_, r.ticket_, /*blocking=*/true);
+    PARFACT_CHECK(ok);
+    it = ch.staged.find(r.ticket_);
+    PARFACT_CHECK(it != ch.staged.end());
+  }
+  Staged st = std::move(it->second);
+  ch.staged.erase(it);
+  complete_recv(r, std::move(st), /*count_idle=*/true);
+  note_pool_drained(rs);
+  return first_pending;
+}
+
+void Comm::note_pool_drained(const std::vector<Request>& rs) {
+  for (const Request& r : rs) {
+    if (r.active_ && !r.done_) return;
+  }
+  // The pool just drained: count arrival-order inversions against posting
+  // order. Virtual arrivals are deterministic, so this out-of-order measure
+  // is a pure function of the schedule even though which wait_any call
+  // completed which request is host-racy.
+  double running_max = -std::numeric_limits<double>::infinity();
+  count_t inversions = 0;
+  for (const Request& r : rs) {
+    if (!r.active_ || r.kind_ != Request::Kind::kRecv) continue;
+    if (r.arrival_ < running_max) ++inversions;
+    running_max = std::max(running_max, r.arrival_);
+  }
+  ooo_completions_ += inversions;
+}
+
 void Comm::barrier() {
   (void)allreduce_sum(0.0);
 }
@@ -1206,6 +1266,7 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
   stats.rank_time.assign(static_cast<std::size_t>(n_ranks), 0.0);
   stats.rank_compute.assign(static_cast<std::size_t>(n_ranks), 0.0);
   stats.rank_peak_bytes.assign(static_cast<std::size_t>(n_ranks), 0);
+  stats.wait_any_calls.assign(static_cast<std::size_t>(n_ranks), 0);
   for (const Comm& c : comms) {
     // A crashed incarnation and its replacement merge into one rank slot:
     // the rank's finish time is the replacement's, compute adds up (the
@@ -1218,6 +1279,8 @@ RunStats run_spmd(int n_ranks, const MachineModel& model,
     stats.idle_wait_seconds += c.idle_wait_;
     stats.rank_peak_bytes[slot] =
         std::max(stats.rank_peak_bytes[slot], c.mem_peak_);
+    stats.wait_any_calls[slot] += c.wait_any_calls_;
+    stats.messages_completed_out_of_order += c.ooo_completions_;
   }
   for (double t : stats.rank_time) stats.makespan = std::max(stats.makespan, t);
   double rank_seconds = 0.0;

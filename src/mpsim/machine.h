@@ -58,6 +58,15 @@ struct RunStats {
   double overlap_efficiency = 1.0;
   count_t total_messages = 0;
   count_t total_bytes = 0;
+  /// wait_any pool diagnostics (the fan-both extend-add streams): recv
+  /// completions whose virtual arrival precedes that of an earlier-posted
+  /// request in the same pool. Computed from the deterministic arrival
+  /// times when a pool drains, so the count is a pure function of the
+  /// schedule — not of which host thread won a race.
+  count_t messages_completed_out_of_order = 0;
+  /// Comm::wait_any invocations per rank (each call completes exactly one
+  /// request, so this is also the pooled-completion count per rank).
+  std::vector<count_t> wait_any_calls;
   std::vector<count_t> rank_peak_bytes;  ///< peak app-reported memory
   count_t total_retransmits = 0;  ///< fault-injected extra transmissions
   count_t total_dropped = 0;      ///< fault-injected message losses
@@ -186,6 +195,10 @@ class Request {
   /// wait() is called to take it).
   [[nodiscard]] bool done() const { return done_; }
 
+  /// Virtual arrival time of a completed recv request (0 until it
+  /// completes; send requests are born done with arrival 0).
+  [[nodiscard]] double arrival() const { return arrival_; }
+
  private:
   friend class Comm;
   enum class Kind : std::uint8_t { kSend, kRecv };
@@ -277,6 +290,23 @@ class Comm {
   /// wait() over a batch, in order; returns the payloads.
   [[nodiscard]] std::vector<std::vector<std::byte>> wait_all(
       std::vector<Request>& rs);
+
+  /// Completes exactly one not-yet-done request in `rs` and returns its
+  /// index; already-done requests (including send requests, which are born
+  /// done) are skipped, and at least one request must be incomplete.
+  /// Progress rule, chosen so the rank clock stays a pure function of the
+  /// schedule regardless of host thread timing: a message that has already
+  /// arrived (virtual arrival ≤ this rank's clock) is claimed first, in
+  /// posting order, without advancing the clock (like test); otherwise the
+  /// earliest-posted incomplete request is waited on (the clock advances to
+  /// its arrival, accounted as idle wait). Post pools in need order so the
+  /// blocking case always targets the request the caller cannot proceed
+  /// without. The payload stays in the returned request — take it with
+  /// wait / wait_vec, which return immediately on a completed request.
+  /// When the call drains the pool's last request, arrival times are
+  /// compared against posting order and the inversions are added to
+  /// RunStats::messages_completed_out_of_order.
+  [[nodiscard]] std::size_t wait_any(std::vector<Request>& rs);
 
   /// Typed wait: payload reinterpreted as a vector of T (like recv_vec).
   template <typename T>
@@ -395,6 +425,10 @@ class Comm {
                     bool blocking);
   /// Completes a recv request whose message is staged: clock/idle/payload.
   void complete_recv(Request& r, Staged&& st, bool count_idle);
+  /// Once every request in `rs` is done, adds the pool's arrival-vs-posting
+  /// inversions to this rank's out-of-order completion counter (no-op while
+  /// any request is still pending).
+  void note_pool_drained(const std::vector<Request>& rs);
 
   Machine* machine_;
   int rank_;
@@ -403,6 +437,8 @@ class Comm {
   double idle_wait_ = 0.0;  ///< virtual seconds blocked on p2p arrivals
   std::map<std::pair<int, int>, Channel> channels_;
   count_t pending_irecvs_ = 0;
+  count_t wait_any_calls_ = 0;
+  count_t ooo_completions_ = 0;  ///< drained-pool arrival-order inversions
   count_t mem_live_ = 0;
   count_t mem_peak_ = 0;
   /// Virtual time at which this incarnation dies. run_spmd sets it (to the

@@ -45,9 +45,13 @@ struct PerfResult {
 /// dist_factor's two schedules; the task-DAG replay additionally dissolves
 /// the collective extend-add barrier into per-panel arrival floors (block
 /// column kb stalls only on the prefix of the contribution stream it needs),
-/// mirroring the shared-memory runtime's ASM → POTRF task edges — it is
-/// replay-only, dist_factor rejects it. The extend-add byte volume follows
-/// the wire format (16 B/entry triples vs 8 B/entry packed).
+/// mirroring the shared-memory runtime's ASM → POTRF task edges. Since
+/// PR 9 dist_factor executes the same fan-both discipline for real
+/// (per-panel extend-add streams consumed through Comm::wait_any); this
+/// replay remains the large-P stand-in and is cross-checked against the
+/// executed schedule by tests/perf_test.cc and bench_f11_fanboth. The
+/// extend-add byte volume follows the wire format (16 B/entry triples vs
+/// 8 B/entry packed).
 [[nodiscard]] PerfResult simulate_factor_time(const SymbolicFactor& sym,
                                               const FrontMap& map,
                                               const mpsim::MachineModel& model,

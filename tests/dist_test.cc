@@ -256,8 +256,13 @@ constexpr DistConfig kLookaheadTriples{DistConfig::Schedule::kLookahead,
                                        DistConfig::ExtendAddFormat::kTriples};
 constexpr DistConfig kLookaheadPacked{DistConfig::Schedule::kLookahead,
                                       DistConfig::ExtendAddFormat::kPacked};
+constexpr DistConfig kTaskDagTriples{DistConfig::Schedule::kTaskDag,
+                                     DistConfig::ExtendAddFormat::kTriples};
+constexpr DistConfig kTaskDagPacked{DistConfig::Schedule::kTaskDag,
+                                    DistConfig::ExtendAddFormat::kPacked};
 constexpr DistConfig kAllConfigs[] = {kBlockingTriples, kBlockingPacked,
-                                      kLookaheadTriples, kLookaheadPacked};
+                                      kLookaheadTriples, kLookaheadPacked,
+                                      kTaskDagTriples,   kTaskDagPacked};
 
 class ScheduleIdentityP : public ::testing::TestWithParam<int> {};
 
@@ -299,12 +304,122 @@ TEST_P(ScheduleIdentityP, LookaheadHealsFaultsBitwiseIdentical) {
   faults.drop_rate = 0.05;
   faults.delay_rate = 0.05;
   faults.duplicate_rate = 0.02;
-  for (const DistConfig& config : {kBlockingTriples, kLookaheadPacked}) {
+  for (const DistConfig& config :
+       {kBlockingTriples, kLookaheadPacked, kTaskDagTriples, kTaskDagPacked}) {
     const DistFactorResult faulty = distributed_factor(
         sym, map, {}, FactorKind::kCholesky, {}, faults, {}, config);
     ASSERT_TRUE(faulty.status.ok()) << faulty.status.to_string();
     expect_factors_bitwise_equal(sym, clean.factor, faulty.factor);
   }
+}
+
+// The fan-both streams ride the same fault-path wire format as everything
+// else: a flipped bit in a stream payload must be caught by the wire
+// checksum and healed by the retry loop, leaving the factor bitwise
+// identical — in both wire formats.
+TEST_P(ScheduleIdentityP, TaskDagHealsWireBitFlipsBitwiseIdentical) {
+  const int p = GetParam();
+  const SparseMatrix a = grid_laplacian_2d(13, 12, 5);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  const DistFactorResult clean = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(clean.status.ok());
+  mpsim::FaultPlan faults;
+  faults.seed = 77;
+  // One wire flip per rank, early, so child → parent stream traffic is hit.
+  for (int r = 0; r < p; ++r) {
+    faults.bit_flips.push_back({r, 0.0, /*site=*/0, /*word=*/1, /*bit=*/62});
+  }
+  for (const DistConfig& config : {kTaskDagTriples, kTaskDagPacked}) {
+    const DistFactorResult healed = distributed_factor(
+        sym, map, {}, FactorKind::kCholesky, {}, faults, {}, config);
+    ASSERT_TRUE(healed.status.ok()) << healed.status.to_string();
+    expect_factors_bitwise_equal(sym, clean.factor, healed.factor);
+  }
+}
+
+// Adversarial arrival order: freeze one child-side rank mid-run so the
+// streams it feeds lag behind its siblings'. The parent's wait_any pool
+// must buffer the early arrivals and still merge every panel in the fixed
+// (child, source-rank) order — bitwise identity — while the run stats
+// record that reordering actually happened, and the virtual makespan stays
+// a pure function of the schedule (re-running the identical configuration
+// reproduces it exactly).
+TEST(ScheduleIdentity, TaskDagOutOfOrderArrivalsDeterministic) {
+  const int p = 8;
+  // 3-D fronts are wide enough that parent pools interleave several
+  // (child, source) stream channels across panels — the 2-D grids the
+  // other identity tests use drain almost in posting order.
+  const SparseMatrix a = grid_laplacian_3d(8, 8, 8, 7);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  const DistFactorResult clean = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(clean.status.ok());
+  const DistFactorResult probe = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kTaskDagPacked);
+  ASSERT_TRUE(probe.status.ok());
+  count_t pool_waits = 0;
+  for (const count_t c : probe.run.wait_any_calls) pool_waits += c;
+  EXPECT_GT(pool_waits, 0);
+
+  // Stall rank 1 (a leaf-subtree owner feeding the upper fronts) early and
+  // long: everything it sends afterwards arrives far behind its siblings.
+  mpsim::FaultPlan faults;
+  faults.stalls.push_back({/*rank=*/1, /*at=*/0.0, /*duration=*/0.05});
+  const DistFactorResult stalled = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, faults, {}, kTaskDagPacked);
+  ASSERT_TRUE(stalled.status.ok()) << stalled.status.to_string();
+  expect_factors_bitwise_equal(sym, clean.factor, stalled.factor);
+  EXPECT_GT(stalled.run.messages_completed_out_of_order, 0);
+
+  const DistFactorResult again = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, faults, {}, kTaskDagPacked);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.run.makespan, stalled.run.makespan);
+  EXPECT_EQ(again.run.messages_completed_out_of_order,
+            stalled.run.messages_completed_out_of_order);
+  expect_factors_bitwise_equal(sym, stalled.factor, again.factor);
+}
+
+// Crash + spare recovery composes with the fan-both schedule: the pool is
+// always fully drained before a front's checkpoint boundary, so the spare
+// resumes from the same protocol state as under the other schedules.
+TEST(ScheduleIdentity, TaskDagRecoversFromCrashBitwiseIdentical) {
+  const int p = 4;
+  const SparseMatrix a = grid_laplacian_2d(9, 8, 5);
+  const SymbolicFactor sym = analyze(a);
+  const FrontMap map =
+      build_front_map(sym, p, MappingStrategy::kSubtree2d, 8, 1e3);
+  ResiliencePolicy resilience;
+  resilience.buddy_checkpoint = true;
+  resilience.checkpoint_interval = 4;
+
+  const DistFactorResult clean = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, kBlockingTriples);
+  ASSERT_TRUE(clean.status.ok());
+
+  const int victim = p / 2;
+  const DistFactorResult probe =
+      distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, {},
+                         resilience, kTaskDagPacked);
+  ASSERT_TRUE(probe.status.ok());
+  const double at =
+      0.5 * probe.run.rank_time[static_cast<std::size_t>(victim)];
+  ASSERT_GT(at, 0.0);
+  mpsim::FaultPlan faults;
+  faults.crashes.push_back({victim, at});
+  faults.spare_ranks = 1;
+
+  const DistFactorResult crashed =
+      distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, faults,
+                         resilience, kTaskDagPacked);
+  ASSERT_TRUE(crashed.status.ok()) << crashed.status.to_string();
+  EXPECT_EQ(crashed.run.ranks_recovered, 1);
+  expect_factors_bitwise_equal(sym, clean.factor, crashed.factor);
 }
 
 TEST(ScheduleIdentity, LdltPerturbationCountsIdenticalAcrossConfigs) {

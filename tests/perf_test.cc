@@ -1,5 +1,6 @@
 // Tests for the block-level schedule replay (perf module): agreement with
 // the real mpsim execution at small P, sane scaling behaviour at large P.
+#include <algorithm>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -194,16 +195,29 @@ TEST(Perf, TaskDagMatchesSerialAtOneRank) {
   EXPECT_EQ(t.idle_wait_seconds, 0.0);
 }
 
-TEST(Perf, DistFactorRejectsTaskDagSchedule) {
-  const SparseMatrix a = grid_laplacian_2d(8, 8, 5);
+// kTaskDag was replay-only until PR 9; dist_factor now executes it. The
+// executed schedule must agree with the replay on the extend-add wire
+// volume (same messages, same split) and actually exercise the wait_any
+// pool, and the executed makespan must stay within the replay agreement
+// band the other schedules meet.
+TEST(Perf, DistFactorExecutesTaskDagSchedule) {
+  const SparseMatrix a = grid_laplacian_2d(16, 16, 5);
   const SymbolicFactor sym = analyze_nested_dissection(a);
-  const FrontMap map = build_front_map(sym, 2, MappingStrategy::kSubtree2d);
+  const FrontMap map =
+      build_front_map(sym, 4, MappingStrategy::kSubtree2d, 8, 1e3);
   constexpr DistConfig dag{DistConfig::Schedule::kTaskDag,
                            DistConfig::ExtendAddFormat::kPacked};
-  EXPECT_THROW(
-      (void)distributed_factor(sym, map, {}, FactorKind::kCholesky, {}, {},
-                               {}, dag),
-      Error);
+  const DistFactorResult r = distributed_factor(
+      sym, map, {}, FactorKind::kCholesky, {}, {}, {}, dag);
+  ASSERT_TRUE(r.status.ok());
+  count_t wait_any_total = 0;
+  for (const count_t c : r.run.wait_any_calls) wait_any_total += c;
+  EXPECT_GT(wait_any_total, 0);
+  const PerfResult replay = simulate_factor_time(sym, map, {}, dag);
+  const double hi = std::max(r.run.makespan, replay.makespan);
+  const double lo = std::min(r.run.makespan, replay.makespan);
+  EXPECT_LT(hi / lo, 2.5) << "executed " << r.run.makespan << " vs replay "
+                          << replay.makespan;
 }
 
 TEST(Perf, OverlapStatsAreConsistent) {
