@@ -11,6 +11,7 @@
 // SolverReport surfaces as comm_wait_any_calls / comm_messages_out_of_order.
 #include <cstdio>
 
+#include "api/service.h"
 #include "api/solver.h"
 #include "bench/common.h"
 #include "dist/dist_factor.h"
@@ -82,6 +83,49 @@ int main() {
                     100.0 * r.overlap_efficiency, t.makespan, "-", "-", "-");
       }
     }
+  }
+
+  // Serving-counter summary: the SolverReport fields the F12 serving engine
+  // maintains (shared symbolic-cache traffic, fast-path refactorizes, LRU
+  // factor evictions and resident bytes), exercised on the first suite
+  // matrix through a two-session service whose factor cache holds only one
+  // resident factor — so the second factorize must evict the first.
+  {
+    const std::vector<TestProblem> probs = bench::suite();
+    const SparseMatrix& a = probs.front().lower;
+    Solver probe;
+    probe.analyze(a);
+    if (probe.factorize().failed()) return 1;
+    ServiceOptions sopt;
+    sopt.factor_cache_bytes = probe.factor_bytes() + 1024;
+    SolverService svc(sopt);
+    SessionId s1 = 0;
+    SessionId s2 = 0;
+    if (svc.open(a, s1).failed() || svc.open(a, s2).failed() ||
+        svc.factorize(s1).failed() || svc.factorize(s2).failed() ||
+        svc.refactorize(s1, a.values).failed()) {
+      return 1;
+    }
+    SolverReport rep;
+    if (svc.report(s1, rep).failed()) return 1;
+    bench::heading("serving counters (SolverReport)");
+    std::printf(
+        "symbolic_cache_hits=%lld symbolic_cache_misses=%lld "
+        "refactorizes=%lld sessions_evicted=%lld factor_cache_bytes=%s\n",
+        static_cast<long long>(rep.symbolic_cache_hits),
+        static_cast<long long>(rep.symbolic_cache_misses),
+        static_cast<long long>(rep.refactorizes),
+        static_cast<long long>(rep.sessions_evicted),
+        bench::fmt_bytes(static_cast<double>(rep.factor_cache_bytes))
+            .c_str());
+    json.row()
+        .field("matrix", "serving_counters")
+        .field("symbolic_cache_hits", rep.symbolic_cache_hits)
+        .field("symbolic_cache_misses", rep.symbolic_cache_misses)
+        .field("refactorizes", rep.refactorizes)
+        .field("sessions_evicted", rep.sessions_evicted)
+        .field("factor_cache_bytes",
+               static_cast<long long>(rep.factor_cache_bytes));
   }
   return 0;
 }

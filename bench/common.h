@@ -73,10 +73,29 @@ class JsonEmitter {
     return *this;
   }
   JsonEmitter& field(const char* key, const std::string& v) {
+    // Full JSON string escaping: backslash, quote, the named control
+    // escapes, and \u00XX for the rest of the C0 range — a path like
+    // C:\tmp or a status message with a newline must not corrupt the file.
     std::string out = "\"";
     for (const char c : v) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
     }
     out += '"';
     rows_.back().emplace_back(key, std::move(out));

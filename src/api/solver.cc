@@ -17,6 +17,7 @@
 #include "solve/fused.h"
 #include "solve/solve.h"
 #include "sparse/ops.h"
+#include "support/checksum.h"
 #include "support/error.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
@@ -156,14 +157,70 @@ void Solver::check_rhs(std::size_t b_size, index_t nrhs,
 
 ThreadPool* Solver::solve_pool() const {
   if (options_.threads <= 1) return nullptr;
+  if (options_.shared_pool != nullptr) return options_.shared_pool;
   if (!solve_pool_) solve_pool_ = std::make_unique<ThreadPool>(options_.threads);
   return solve_pool_.get();
 }
 
 void Solver::build_solve_schedule() {
+  // An adopted cache entry carries the precomputed schedule; copy it and
+  // repoint it at this solver's own SymbolicFactor copy. The schedule is a
+  // pure function of the structure and rhs_block, so the copy is exact —
+  // but a solver configured with a different block width rebuilds.
+  if (cached_ != nullptr &&
+      cached_->schedule.rhs_block == options_.solve_rhs_block) {
+    solve_schedule_ = std::make_unique<SolveSchedule>(cached_->schedule);
+    solve_schedule_->sym = &*sym_;
+    return;
+  }
   SolveScheduleOptions opts;
   opts.rhs_block = options_.solve_rhs_block;
   solve_schedule_ = std::make_unique<SolveSchedule>(*sym_, opts);
+}
+
+std::uint64_t Solver::config_hash() const {
+  std::uint64_t h = fnv1a_pod(static_cast<int>(options_.ordering));
+  h = fnv1a_pod(options_.nd.nd_leaf_size, h);
+  h = fnv1a_pod(options_.nd.leaf_minimum_degree, h);
+  h = fnv1a_pod(options_.nd.partition.balance_tol, h);
+  h = fnv1a_pod(options_.nd.partition.coarse_target, h);
+  h = fnv1a_pod(options_.nd.partition.fm_passes, h);
+  h = fnv1a_pod(options_.nd.partition.attempts, h);
+  h = fnv1a_pod(options_.nd.seed, h);
+  h = fnv1a_pod(options_.amalgamation.enable, h);
+  h = fnv1a_pod(options_.amalgamation.relax_small, h);
+  h = fnv1a_pod(options_.amalgamation.relax_ratio, h);
+  // The parallel ND engine produces a different (equal-quality) ordering
+  // than the sequential one, deterministically for a fixed seed regardless
+  // of pool size — so the engine choice is structure-affecting, the thread
+  // count is not.
+  const bool parallel_nd =
+      options_.ordering == SolverOptions::Ordering::kNestedDissection &&
+      options_.threads > 1;
+  h = fnv1a_pod(parallel_nd, h);
+  return h;
+}
+
+void Solver::build_value_map(const SparseMatrix& lower) {
+  const SparseMatrix& a = sym_->a;
+  value_map_.resize(a.values.size());
+  for (index_t j = 0; j < a.cols; ++j) {
+    for (index_t q = a.col_ptr[j]; q < a.col_ptr[j + 1]; ++q) {
+      const index_t oi = total_perm_[a.row_ind[q]];
+      const index_t oj = total_perm_[j];
+      // The input stores the lower triangle: column min(oi,oj), row
+      // max(oi,oj), row indices sorted within the column.
+      const index_t c = std::min(oi, oj);
+      const index_t r = std::max(oi, oj);
+      const auto begin = lower.row_ind.begin() + lower.col_ptr[c];
+      const auto end = lower.row_ind.begin() + lower.col_ptr[c + 1];
+      const auto it = std::lower_bound(begin, end, r);
+      PARFACT_CHECK_MSG(it != end && *it == r,
+                        "analyze(): permuted entry missing from input");
+      value_map_[static_cast<std::size_t>(q)] =
+          static_cast<index_t>(it - lower.row_ind.begin());
+    }
+  }
 }
 
 void Solver::analyze(const SparseMatrix& lower) {
@@ -171,16 +228,61 @@ void Solver::analyze(const SparseMatrix& lower) {
   PARFACT_CHECK(lower.rows == lower.cols);
   original_lower_ = lower;
   factor_.reset();
+  ooc_factor_.reset();
   solve_schedule_.reset();
+  reservation_.reset();
+  cached_.reset();
+
+  // The serving counters are cumulative per Solver and survive the
+  // per-analyze report reset below.
+  const count_t cache_hits = report_.symbolic_cache_hits;
+  const count_t cache_misses = report_.symbolic_cache_misses;
+  const count_t refactorizes = report_.refactorizes;
+  report_ = SolverReport{};
+  report_.symbolic_cache_hits = cache_hits;
+  report_.symbolic_cache_misses = cache_misses;
+  report_.refactorizes = refactorizes;
+
+  SymbolicCache* cache = options_.symbolic_cache;
+  PatternKey key;
+  if (cache != nullptr) {
+    key = pattern_key(lower, config_hash());
+    if (std::shared_ptr<const CachedAnalysis> entry = cache->lookup(key)) {
+      // Hit: adopt the cached structure (copy — the entry stays immutable
+      // and shared) and scatter this matrix's values into place. Pure value
+      // permutation ⇒ bitwise identical to a cold analyze of `lower`.
+      sym_.emplace(entry->sym);
+      total_perm_ = entry->total_perm;
+      value_map_ = entry->value_map;
+      for (std::size_t q = 0; q < value_map_.size(); ++q) {
+        sym_->a.values[q] = lower.values[value_map_[q]];
+      }
+      cached_ = std::move(entry);
+      ++report_.symbolic_cache_hits;
+      report_.n = lower.rows;
+      report_.nnz_a = lower.nnz();
+      report_.nnz_factor = sym_->nnz_strict;
+      report_.factor_flops = sym_->total_flops;
+      report_.n_supernodes = sym_->n_supernodes;
+      report_.analyze_seconds = timer.seconds();
+      return;
+    }
+    ++report_.symbolic_cache_misses;
+  }
 
   // Fill-reducing permutation (new -> old).
   std::vector<index_t> fill_perm;
   switch (options_.ordering) {
     case SolverOptions::Ordering::kNestedDissection:
       if (options_.threads > 1) {
-        ThreadPool pool(options_.threads);
-        fill_perm = nested_dissection_parallel(graph_from_pattern(lower),
-                                               options_.nd, pool);
+        if (options_.shared_pool != nullptr) {
+          fill_perm = nested_dissection_parallel(
+              graph_from_pattern(lower), options_.nd, *options_.shared_pool);
+        } else {
+          ThreadPool pool(options_.threads);
+          fill_perm = nested_dissection_parallel(graph_from_pattern(lower),
+                                                 options_.nd, pool);
+        }
       } else {
         fill_perm =
             nested_dissection(graph_from_pattern(lower), options_.nd);
@@ -208,14 +310,28 @@ void Solver::analyze(const SparseMatrix& lower) {
     total_perm_[k] = fill_perm[sym_->post[k]];
   }
   PARFACT_CHECK(is_permutation(total_perm_));
+  build_value_map(lower);
 
-  report_ = SolverReport{};
+  const double seconds = timer.seconds();
+  if (cache != nullptr) {
+    SymbolicFactor zeroed = *sym_;
+    std::fill(zeroed.a.values.begin(), zeroed.a.values.end(), 0.0);
+    SolveScheduleOptions sopts;
+    sopts.rhs_block = options_.solve_rhs_block;
+    // insert() returns the incumbent if another thread analyzed the same
+    // pattern concurrently; either entry is valid (the analysis is
+    // deterministic), and keeping the winner maximizes sharing.
+    cached_ = cache->insert(
+        key, std::make_shared<CachedAnalysis>(std::move(zeroed), total_perm_,
+                                              value_map_, sopts, seconds));
+  }
+
   report_.n = lower.rows;
   report_.nnz_a = lower.nnz();
   report_.nnz_factor = sym_->nnz_strict;
   report_.factor_flops = sym_->total_flops;
   report_.n_supernodes = sym_->n_supernodes;
-  report_.analyze_seconds = timer.seconds();
+  report_.analyze_seconds = seconds;
 }
 
 Status Solver::factorize() {
@@ -265,8 +381,12 @@ Status Solver::factorize() {
 
   std::unique_ptr<ThreadPool> pool;
   if (options_.threads > 1) {
-    pool = std::make_unique<ThreadPool>(options_.threads);
-    gopts.pool = pool.get();
+    if (options_.shared_pool != nullptr) {
+      gopts.pool = options_.shared_pool;
+    } else {
+      pool = std::make_unique<ThreadPool>(options_.threads);
+      gopts.pool = pool.get();
+    }
   }
   GovernedFactorizeResult result =
       multifrontal_factorize_governed(*sym_, *budget_, gopts);
@@ -301,6 +421,153 @@ Status Solver::factorize() {
   }
   reservation_ = std::move(result.reservation);
   return result.status;
+}
+
+Status Solver::refactorize(std::span<const real_t> new_values) {
+  PARFACT_CHECK_MSG(sym_.has_value(), "refactorize() before analyze()");
+  if (new_values.size() != original_lower_.values.size()) {
+    std::ostringstream os;
+    os << "refactorize: value array has " << new_values.size()
+       << " entries, the analyzed matrix stores "
+       << original_lower_.values.size() << " nonzeros";
+    return Status::failure(StatusCode::kInvalidInput, os.str());
+  }
+  ++report_.refactorizes;
+  std::copy(new_values.begin(), new_values.end(),
+            original_lower_.values.begin());
+  // Same pure value permutation the analyze paths use — the postordered
+  // matrix now holds exactly what a cold analyze of the new values would.
+  for (std::size_t q = 0; q < value_map_.size(); ++q) {
+    sym_->a.values[q] = original_lower_.values[value_map_[q]];
+  }
+
+  // Fast path: the previous run left an in-core factor and no feature that
+  // needs its own engine (ABFT checksums, admission ladder, fault
+  // injection) is active — re-run the numeric phase into the existing
+  // allocation. Anything else falls through to the full factorize(), which
+  // composes with governance/ABFT/OOC unchanged (analyze is never re-run).
+  if (options_.abft || options_.memory_budget_bytes > 0 ||
+      options_.inject_sdc.has_value() || !factor_.has_value()) {
+    return factorize();
+  }
+
+  factor_checksums_ = FactorChecksums{};
+  report_.abft_checks = 0;
+  report_.abft_detections = 0;
+  report_.fronts_recomputed = 0;
+  report_.corruption_detected = false;
+  report_.verify_residual = 0.0;
+  FactorStats stats;
+  PivotPolicy pivot;
+  pivot.boost = options_.static_pivoting;
+  pivot.threshold = options_.pivot_threshold;
+  const CancelToken cancel = arm_cancel_scope();
+  try {
+    if (options_.threads > 1) {
+      std::unique_ptr<ThreadPool> owned;
+      ThreadPool* pool = options_.shared_pool;
+      if (pool == nullptr) {
+        owned = std::make_unique<ThreadPool>(options_.threads);
+        pool = owned.get();
+      }
+      if (options_.factor_engine == SolverOptions::FactorEngine::kTwoPhase) {
+        multifrontal_refactor_two_phase(*sym_, *factor_, *pool, &stats,
+                                        options_.factor_kind, kCoopFrontFlops,
+                                        pivot, cancel);
+      } else {
+        multifrontal_refactor_parallel(*sym_, *factor_, *pool, &stats,
+                                       options_.factor_kind, kCoopFrontFlops,
+                                       pivot, cancel);
+      }
+    } else {
+      multifrontal_refactor(*sym_, *factor_, &stats, options_.factor_kind,
+                            pivot, cancel);
+    }
+  } catch (const StatusError& e) {
+    cancel_source_ = CancelSource();
+    // The interrupted panels hold partial results; drop them so a later
+    // refactorize/factorize starts from the no-factor state.
+    factor_.reset();
+    solve_schedule_.reset();
+    if (e.status().code == StatusCode::kBreakdown) throw;
+    return e.status();
+  }
+  cancel_source_ = CancelSource();
+  report_.admission = Admission::kUnlimited;
+  report_.peak_bytes = 0;
+  report_.bytes_spilled = 0;
+  report_.factor_seconds = stats.seconds;
+  report_.peak_update_bytes = stats.peak_update_bytes;
+  report_.pivot_perturbations = stats.pivot_perturbations;
+  if (solve_schedule_ == nullptr) build_solve_schedule();
+  return Status::success(stats.pivot_perturbations);
+}
+
+Status Solver::spill_factor() {
+  PARFACT_CHECK_MSG(sym_.has_value(), "spill_factor() before analyze()");
+  if (ooc_factor_.has_value()) return Status::success();
+  if (!factor_.has_value()) {
+    return Status::failure(StatusCode::kInvalidInput,
+                           "spill_factor(): no factor to spill");
+  }
+  OocCholeskyFactor ooc(*sym_, spill_path());
+  for (index_t s = 0; s < sym_->n_supernodes; ++s) {
+    ooc.write_panel(s, factor_->panel(s));
+  }
+  if (factor_->is_ldlt()) {
+    const std::span<const real_t> d = factor_->diag();
+    std::copy(d.begin(), d.end(), ooc.allocate_diag().begin());
+  }
+  ooc_factor_.emplace(std::move(ooc));
+  factor_.reset();
+  solve_schedule_.reset();
+  reservation_.reset();
+  factor_checksums_ = FactorChecksums{};
+  report_.bytes_spilled = ooc_factor_->bytes_on_disk();
+  return Status::success();
+}
+
+Status Solver::unspill_factor() {
+  PARFACT_CHECK_MSG(sym_.has_value(), "unspill_factor() before analyze()");
+  if (factor_.has_value()) return Status::success();
+  if (!ooc_factor_.has_value()) {
+    return Status::failure(StatusCode::kInvalidInput,
+                           "unspill_factor(): no spilled factor to load");
+  }
+  try {
+    CholeskyFactor factor(*sym_);
+    for (index_t s = 0; s < sym_->n_supernodes; ++s) {
+      ooc_factor_->read_panel(s, factor.panel(s));
+    }
+    if (ooc_factor_->is_ldlt()) {
+      const std::span<const real_t> d = ooc_factor_->diag();
+      std::copy(d.begin(), d.end(), factor.allocate_diag().begin());
+    }
+    factor_.emplace(std::move(factor));
+  } catch (const StatusError& e) {
+    // Checksum-verified read failed: keep the spilled state (still usable
+    // for streamed solves — the corruption may be panel-local) and let the
+    // caller decide (SolverService falls back to refactorize).
+    return e.status();
+  }
+  ooc_factor_.reset();
+  build_solve_schedule();
+  return Status::success();
+}
+
+std::size_t Solver::factor_bytes() const {
+  if (factor_.has_value()) {
+    std::size_t bytes =
+        static_cast<std::size_t>(factor_->stored_entries()) * sizeof(real_t);
+    if (factor_->is_ldlt()) {
+      bytes += static_cast<std::size_t>(sym_->n) * sizeof(real_t);
+    }
+    return bytes;
+  }
+  if (ooc_factor_.has_value()) {
+    return static_cast<std::size_t>(ooc_factor_->bytes_on_disk());
+  }
+  return 0;
 }
 
 Status Solver::factorize_abft() {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "api/symbolic_cache.h"
 #include "dist/checkpoint.h"
 #include "graph/ordering.h"
 #include "mf/abft.h"
@@ -115,6 +116,18 @@ struct SolverOptions {
   /// abft; kStoredFactor corrupts the in-core factor right after
   /// factorize() so the at-rest/verify defenses are exercised.
   std::optional<SdcInjection> inject_sdc;
+  /// Pattern-keyed analysis cache shared across Solver instances (and
+  /// SolverService sessions). When set, analyze() first looks up the input
+  /// pattern + ordering configuration and adopts a cached analysis on a hit
+  /// — bitwise identical to a cold analyze — instead of re-running ordering
+  /// and symbolic analysis; misses populate the cache. Must outlive the
+  /// Solver. nullptr (default) keeps analyze() fully cold.
+  SymbolicCache* symbolic_cache = nullptr;
+  /// Externally owned worker pool used (when threads > 1) instead of a pool
+  /// created per factorize/refactorize call. Lets many solvers — e.g. the
+  /// sessions of one SolverService — share workers. Must outlive the
+  /// Solver; do not call solver methods from this pool's own worker threads.
+  ThreadPool* shared_pool = nullptr;
 };
 
 /// Summary of the last analyze/factorize, in the units the paper reports.
@@ -174,6 +187,16 @@ struct SolverReport {
   count_t fronts_recomputed = 0;
   bool corruption_detected = false;
   real_t verify_residual = 0.0;
+  /// Serving counters (cumulative over the Solver's lifetime — they survive
+  /// the per-analyze report reset). Hits/misses count this solver's own
+  /// SymbolicCache lookups; refactorizes counts refactorize() calls.
+  /// sessions_evicted / factor_cache_bytes are stamped by SolverService
+  /// (zero for a standalone Solver).
+  count_t symbolic_cache_hits = 0;
+  count_t symbolic_cache_misses = 0;
+  count_t refactorizes = 0;
+  count_t sessions_evicted = 0;
+  std::size_t factor_cache_bytes = 0;
 };
 
 /// Which path of the solve_robust() escalation produced the answer.
@@ -216,6 +239,39 @@ class Solver {
   /// factorize() produces a factor bitwise identical to an uninterrupted
   /// run.
   Status factorize();
+
+  /// Numeric-only re-factorization: installs `new_values` (same length and
+  /// order as the analyze() input's value array — the pattern must be
+  /// unchanged) and re-runs the numeric phase. When the previous factorize()
+  /// left an in-core factor and no ABFT/budget/injection option is active,
+  /// this skips ordering, symbolic analysis, and all allocation, writing the
+  /// new factor into the existing panels — the serving fast path. The result
+  /// is bitwise identical to analyze()+factorize() on the same values, and
+  /// the perturbation count is reported identically. Otherwise (ABFT,
+  /// memory budget, OOC, injection, or no prior factor) it degrades to the
+  /// full factorize() on the new values, composing with those features
+  /// unchanged. A length mismatch returns kInvalidInput; cancellation,
+  /// deadlines and breakdown behave exactly as in factorize().
+  Status refactorize(std::span<const real_t> new_values);
+
+  /// Moves the in-core factor to the checksummed OOC scratch file (panels
+  /// on disk, LDLᵀ diagonal resident), releasing the panel memory and any
+  /// budget reservation. Solves keep working, streamed from disk. Used by
+  /// SolverService to evict cold sessions; no-op Status if already spilled.
+  Status spill_factor();
+
+  /// Loads a spilled factor back in-core (checksum-verified panel reads;
+  /// a corrupted scratch file returns kDataCorruption and keeps the spilled
+  /// state). No-op Status if already in-core.
+  Status unspill_factor();
+
+  /// Bytes held by the current factor: in-core panel + diagonal storage, or
+  /// scratch-file bytes when spilled; 0 before factorize().
+  [[nodiscard]] std::size_t factor_bytes() const;
+  /// True when the factor currently lives in the OOC scratch file.
+  [[nodiscard]] bool factor_spilled() const {
+    return ooc_factor_.has_value();
+  }
 
   /// Requests cooperative cancellation of the in-flight (or next)
   /// factorize()/factorize_and_solve() call from any thread; the cancelled
@@ -312,6 +368,12 @@ class Solver {
   /// is built once per factorize() and reused by every solve.
   [[nodiscard]] ThreadPool* solve_pool() const;
   void build_solve_schedule();
+  /// Digest of every option that affects the symbolic result (ordering kind
+  /// and knobs, amalgamation, parallel-ND engine choice) — the PatternKey
+  /// config component.
+  [[nodiscard]] std::uint64_t config_hash() const;
+  /// Builds value_map_: sym_->a.values[q] = lower.values[value_map_[q]].
+  void build_value_map(const SparseMatrix& lower);
   /// Arms the per-call cancellation scope (deadline) and returns its token.
   [[nodiscard]] CancelToken arm_cancel_scope();
   /// x := A⁻¹ x on the postordered block, dispatching in-core vs spilled.
@@ -338,6 +400,13 @@ class Solver {
   mutable FactorChecksums factor_checksums_;  ///< at-rest sums (abft runs)
   std::optional<OocCholeskyFactor> ooc_factor_;  ///< spilled alternative
   std::vector<index_t> total_perm_;  ///< postordered -> original
+  /// Per-nonzero scatter map from the analyze() input's value array into
+  /// sym_->a.values — a pure permutation (no arithmetic), which is what
+  /// makes cache-hit analyze and refactorize bitwise-exact.
+  std::vector<index_t> value_map_;
+  /// The adopted cache entry (hit or freshly inserted miss); retained so
+  /// build_solve_schedule() can copy the precomputed schedule.
+  std::shared_ptr<const CachedAnalysis> cached_;
   SparseMatrix original_lower_;      ///< kept for residuals/refinement
   std::unique_ptr<SolveSchedule> solve_schedule_;
   mutable SolveWorkspace solve_workspace_;

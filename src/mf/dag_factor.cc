@@ -310,9 +310,23 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
                                             count_t coop_flops,
                                             PivotPolicy pivot,
                                             CancelToken cancel) {
+  CholeskyFactor factor(sym);
+  multifrontal_refactor_parallel(sym, factor, pool, stats, kind, coop_flops,
+                                 pivot, std::move(cancel));
+  return factor;
+}
+
+void multifrontal_refactor_parallel(const SymbolicFactor& sym,
+                                    CholeskyFactor& factor, ThreadPool& pool,
+                                    FactorStats* stats, FactorKind kind,
+                                    count_t coop_flops, PivotPolicy pivot,
+                                    CancelToken cancel) {
+  PARFACT_CHECK(&factor.symbolic() == &sym);
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
-  CholeskyFactor factor(sym);
+  // FactorDag requires zeroed panels; reset restores that invariant for a
+  // reused allocation (and is a no-op cost on a fresh one).
+  factor.reset_values();
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
 
@@ -328,7 +342,6 @@ CholeskyFactor multifrontal_factor_parallel(const SymbolicFactor& sym,
     stats->peak_update_bytes = dag.peak_update_bytes();
     stats->pivot_perturbations = dag.perturbations();
   }
-  return factor;
 }
 
 }  // namespace parfact

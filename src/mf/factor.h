@@ -27,6 +27,12 @@ class CholeskyFactor {
   [[nodiscard]] MatrixView panel(index_t s);
   [[nodiscard]] ConstMatrixView panel(index_t s) const;
 
+  /// Zero-fills every panel (and D, if allocated) in place without touching
+  /// the allocation. Restores the freshly-constructed state the numeric
+  /// engines require, so a factor object can be reused across refactorize
+  /// calls with no allocator traffic.
+  void reset_values();
+
   /// Total stored entries (== symbolic().nnz_stored).
   [[nodiscard]] count_t stored_entries() const {
     return static_cast<count_t>(values_.size());

@@ -29,9 +29,18 @@ PivotPolicy resolve_pivot_policy(PivotPolicy policy, const SparseMatrix& a) {
 CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
                                    FactorStats* stats, FactorKind kind,
                                    PivotPolicy pivot, CancelToken cancel) {
+  CholeskyFactor factor(sym);
+  multifrontal_refactor(sym, factor, stats, kind, pivot, cancel);
+  return factor;
+}
+
+void multifrontal_refactor(const SymbolicFactor& sym, CholeskyFactor& factor,
+                           FactorStats* stats, FactorKind kind,
+                           PivotPolicy pivot, CancelToken cancel) {
+  PARFACT_CHECK(&factor.symbolic() == &sym);
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
-  CholeskyFactor factor(sym);
+  factor.reset_values();
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
   const auto children = detail::build_children(sym);
@@ -59,7 +68,6 @@ CholeskyFactor multifrontal_factor(const SymbolicFactor& sym,
     stats->peak_update_bytes = mem.peak();
     stats->pivot_perturbations = perturbations;
   }
-  return factor;
 }
 
 CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
@@ -69,10 +77,22 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
                                              count_t coop_flops,
                                              PivotPolicy pivot,
                                              CancelToken cancel) {
+  CholeskyFactor factor(sym);
+  multifrontal_refactor_two_phase(sym, factor, pool, stats, kind, coop_flops,
+                                  pivot, cancel);
+  return factor;
+}
+
+void multifrontal_refactor_two_phase(const SymbolicFactor& sym,
+                                     CholeskyFactor& factor, ThreadPool& pool,
+                                     FactorStats* stats, FactorKind kind,
+                                     count_t coop_flops, PivotPolicy pivot,
+                                     CancelToken cancel) {
+  PARFACT_CHECK(&factor.symbolic() == &sym);
   WallTimer timer;
   pivot = resolve_pivot_policy(pivot, sym.a);
   std::atomic<count_t> perturbations{0};
-  CholeskyFactor factor(sym);
+  factor.reset_values();
   std::span<real_t> d;
   if (kind == FactorKind::kLdlt) d = factor.allocate_diag();
   const auto children = detail::build_children(sym);
@@ -178,7 +198,6 @@ CholeskyFactor multifrontal_factor_two_phase(const SymbolicFactor& sym,
     stats->pivot_perturbations =
         perturbations.load(std::memory_order_relaxed);
   }
-  return factor;
 }
 
 FactorizeResult multifrontal_factorize(const SymbolicFactor& sym,

@@ -57,6 +57,18 @@ struct PivotPolicy {
     FactorKind kind = FactorKind::kCholesky, PivotPolicy pivot = {},
     CancelToken cancel = {});
 
+/// Re-runs the serial numeric factorization *into an existing allocation*:
+/// `factor` must have been built from this `sym` (checked), is zeroed in
+/// place, and is overwritten with the factor of the current sym.a values.
+/// No ordering, symbolic analysis, or panel allocation happens — this is
+/// the numeric-only fast path behind Solver::refactorize. Bitwise identical
+/// to a cold multifrontal_factor on the same values. On throw (breakdown /
+/// cancellation) the panel contents are unspecified; discard or reset them.
+void multifrontal_refactor(const SymbolicFactor& sym, CholeskyFactor& factor,
+                           FactorStats* stats = nullptr,
+                           FactorKind kind = FactorKind::kCholesky,
+                           PivotPolicy pivot = {}, CancelToken cancel = {});
+
 /// A front whose factorization flops reach this threshold is executed
 /// cooperatively (all workers split its TRSM/SYRK/GEMM row ranges) instead
 /// of as a single supernode task. ~20 Mflop is a few milliseconds on the
@@ -79,6 +91,16 @@ inline constexpr count_t kCoopFrontFlops = 20'000'000;
     count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {},
     CancelToken cancel = {});
 
+/// Task-DAG counterpart of multifrontal_refactor: re-runs the parallel
+/// numeric factorization into an existing allocation (same contract).
+void multifrontal_refactor_parallel(const SymbolicFactor& sym,
+                                    CholeskyFactor& factor, ThreadPool& pool,
+                                    FactorStats* stats = nullptr,
+                                    FactorKind kind = FactorKind::kCholesky,
+                                    count_t coop_flops = kCoopFrontFlops,
+                                    PivotPolicy pivot = {},
+                                    CancelToken cancel = {});
+
 /// The pre-runtime static engine, kept as the task-DAG engine's benchmark
 /// baseline (bench_f10): maximal subtrees of "light" fronts (< `coop_flops`
 /// each) run as independent supernode tasks, then a barrier, then the
@@ -90,6 +112,15 @@ inline constexpr count_t kCoopFrontFlops = 20'000'000;
     FactorKind kind = FactorKind::kCholesky,
     count_t coop_flops = kCoopFrontFlops, PivotPolicy pivot = {},
     CancelToken cancel = {});
+
+/// Two-phase counterpart of multifrontal_refactor (same contract).
+void multifrontal_refactor_two_phase(const SymbolicFactor& sym,
+                                     CholeskyFactor& factor, ThreadPool& pool,
+                                     FactorStats* stats = nullptr,
+                                     FactorKind kind = FactorKind::kCholesky,
+                                     count_t coop_flops = kCoopFrontFlops,
+                                     PivotPolicy pivot = {},
+                                     CancelToken cancel = {});
 
 /// Outcome of a checked factorization: on success (including a perturbed
 /// success) `factor` is engaged and `status` reports the perturbation

@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "support/types.h"
 
@@ -28,6 +29,19 @@ inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
 /// rolling digest (pass the previous digest back in).
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
                                   std::uint64_t seed = kFnv1aOffsetBasis);
+
+/// Chains one trivially-copyable value into a rolling FNV-1a digest — the
+/// building block for configuration digests (e.g. the symbolic-cache
+/// pattern key hashes every ordering/amalgamation knob this way, so two
+/// solvers only share an analysis when every structure-affecting option
+/// matches).
+template <class T>
+[[nodiscard]] std::uint64_t fnv1a_pod(const T& value,
+                                      std::uint64_t seed = kFnv1aOffsetBasis) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "fnv1a_pod hashes raw object bytes");
+  return fnv1a(&value, sizeof value, seed);
+}
 
 /// ABFT acceptance test: does `actual` match `predicted` to within
 /// `tol * (scale + 1)`, where `scale` is the absolute-value counterpart of

@@ -1,0 +1,34 @@
+#include "symbolic/pattern_key.h"
+
+#include "support/checksum.h"
+
+namespace parfact {
+
+std::size_t PatternKeyHash::operator()(const PatternKey& k) const {
+  std::uint64_t h = fnv1a_pod(k.structure_hash);
+  h = fnv1a_pod(k.config_hash, h);
+  h = fnv1a_pod(k.n, h);
+  h = fnv1a_pod(k.nnz, h);
+  return static_cast<std::size_t>(h);
+}
+
+PatternKey pattern_key(const SparseMatrix& lower,
+                       std::uint64_t config_hash) {
+  PatternKey key;
+  key.config_hash = config_hash;
+  key.n = lower.rows;
+  key.nnz = lower.nnz();
+  std::uint64_t h = kFnv1aOffsetBasis;
+  if (!lower.col_ptr.empty()) {
+    h = fnv1a(lower.col_ptr.data(),
+              lower.col_ptr.size() * sizeof(index_t), h);
+  }
+  if (!lower.row_ind.empty()) {
+    h = fnv1a(lower.row_ind.data(),
+              lower.row_ind.size() * sizeof(index_t), h);
+  }
+  key.structure_hash = h;
+  return key;
+}
+
+}  // namespace parfact
